@@ -1,0 +1,109 @@
+// Ablation E4: runtime-estimator accuracy vs history size, statistical
+// estimator kind, and similarity-template hierarchy.
+//
+// Extends fig. 5: the paper fixes history = 100 jobs and a single estimator;
+// this sweep shows how the 13-ish % error regime depends on those choices.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "estimators/runtime_estimator.h"
+#include "workload/paragon_trace.h"
+#include "workload/task_generator.h"
+
+#include "common/log.h"
+
+using namespace gae;
+
+
+namespace {
+
+constexpr std::size_t kTestCases = 50;
+constexpr int kTrials = 5;  // different seeds averaged per cell
+
+double mean_abs_pct_error(std::size_t history_size,
+                          estimators::RuntimeEstimatorOptions opts,
+                          estimators::SimilarityMatcher matcher, std::uint64_t seed) {
+  Rng rng(seed);
+  workload::PopulationOptions popts;
+  popts.sigma_within = 0.18;
+  auto population = workload::ApplicationPopulation::make(rng, popts);
+  workload::TraceOptions topts;
+  topts.num_records = history_size + kTestCases;
+  topts.failure_rate = 0.0;
+  const auto trace = workload::generate_trace(population, rng, topts);
+
+  auto store = std::make_shared<estimators::TaskHistoryStore>();
+  estimators::RuntimeEstimator estimator(store, std::move(matcher), opts);
+  for (std::size_t i = 0; i < history_size; ++i) {
+    estimator.record(workload::record_attributes(trace[i]), trace[i].runtime_seconds(),
+                     trace[i].complete_time);
+  }
+  double total = 0;
+  std::size_t counted = 0;
+  for (std::size_t i = history_size; i < trace.size(); ++i) {
+    auto est = estimator.estimate(workload::record_attributes(trace[i]));
+    if (!est.is_ok()) continue;
+    const double actual = trace[i].runtime_seconds();
+    total += std::fabs(actual - est.value().seconds) / actual * 100.0;
+    ++counted;
+  }
+  return counted ? total / static_cast<double>(counted) : -1.0;
+}
+
+double averaged(std::size_t history, estimators::EstimatorKind kind,
+                std::vector<estimators::SimilarityTemplate> templates) {
+  estimators::RuntimeEstimatorOptions opts;
+  opts.kind = kind;
+  double sum = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    sum += mean_abs_pct_error(history, opts,
+                              estimators::SimilarityMatcher(templates),
+                              1000 + static_cast<std::uint64_t>(t));
+  }
+  return sum / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);  // keep demo output clean
+  std::printf("Ablation E4: runtime estimator accuracy (mean |%%error|, %d seeds, "
+              "%zu test cases each)\n\n",
+              kTrials, kTestCases);
+
+  const auto full = estimators::default_templates();
+  const std::vector<estimators::SimilarityTemplate> exe_only = {
+      {{"executable"}}, {{}}};
+  const std::vector<estimators::SimilarityTemplate> user_only = {{{"login"}}, {{}}};
+  const std::vector<estimators::SimilarityTemplate> any_only = {{{}}};
+
+  std::printf("-- history size sweep (hybrid estimator, full template hierarchy) --\n");
+  std::printf("%-10s %12s\n", "history", "mean_err_%");
+  for (std::size_t history : {25u, 50u, 100u, 200u, 400u, 800u}) {
+    std::printf("%-10zu %12.2f\n", history,
+                averaged(history, estimators::EstimatorKind::kHybrid, full));
+  }
+
+  std::printf("\n-- estimator kind (history = 100) --\n");
+  std::printf("%-10s %12s\n", "kind", "mean_err_%");
+  for (auto kind : {estimators::EstimatorKind::kMean,
+                    estimators::EstimatorKind::kLinearRegression,
+                    estimators::EstimatorKind::kHybrid}) {
+    std::printf("%-10s %12.2f\n", estimators::estimator_kind_name(kind),
+                averaged(100, kind, full));
+  }
+
+  std::printf("\n-- similarity templates (history = 100, hybrid) --\n");
+  std::printf("%-22s %12s\n", "templates", "mean_err_%");
+  std::printf("%-22s %12.2f\n", "full hierarchy",
+              averaged(100, estimators::EstimatorKind::kHybrid, full));
+  std::printf("%-22s %12.2f\n", "executable only",
+              averaged(100, estimators::EstimatorKind::kHybrid, exe_only));
+  std::printf("%-22s %12.2f\n", "login only",
+              averaged(100, estimators::EstimatorKind::kHybrid, user_only));
+  std::printf("%-22s %12.2f\n", "(any) - global mean",
+              averaged(100, estimators::EstimatorKind::kHybrid, any_only));
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Ablation E6: steering-policy parameters.
+//
+// §7 observes that "a critical factor that affects the job completion time
+// is the time at which the decision to move the job is taken" and that
+// checkpointing + flocking would improve on the 369 s steered completion.
+// This bench quantifies both: completion time of the fig-7 job as a function
+// of the optimizer's decision cadence, the slow-rate threshold, and
+// checkpointing, plus the flocking alternative (no steering at all).
+#include <cstdio>
+#include <map>
+
+#include "estimators/estimate_db.h"
+#include "estimators/runtime_estimator.h"
+#include "jobmon/service.h"
+#include "monalisa/repository.h"
+#include "sim/load.h"
+#include "sphinx/scheduler.h"
+#include "steering/service.h"
+
+#include "common/log.h"
+
+using namespace gae;
+
+
+namespace {
+
+constexpr double kJobSeconds = 283.0;
+constexpr double kSiteALoad = 0.8;
+
+struct Outcome {
+  double completion_s = -1;
+  double move_time_s = -1;
+  std::size_t moves = 0;
+};
+
+Outcome run(double optimizer_interval, double min_observation, double slow_threshold,
+            bool checkpointable, bool use_flocking) {
+  sim::Simulation sim;
+  sim::Grid grid;
+  grid.add_site("site-a").add_node("a0", 1.0,
+                                   std::make_shared<sim::ConstantLoad>(kSiteALoad));
+  grid.add_site("site-b").add_node("b0", 1.0, nullptr);
+  grid.set_default_link({100e6, 0});
+
+  exec::ExecutionService exec_a(sim, grid, "site-a");
+  exec::ExecutionService exec_b(sim, grid, "site-b");
+  monalisa::Repository monitoring;
+  auto estimate_db = std::make_shared<estimators::EstimateDatabase>();
+
+  std::map<std::string, std::string> attrs = {{"executable", "primes"},
+                                              {"login", "alice"},
+                                              {"queue", "short"},
+                                              {"nodes", "1"}};
+  auto est_a = std::make_shared<estimators::RuntimeEstimator>(
+      std::make_shared<estimators::TaskHistoryStore>());
+  auto est_b = std::make_shared<estimators::RuntimeEstimator>(
+      std::make_shared<estimators::TaskHistoryStore>());
+  for (int i = 0; i < 8; ++i) {
+    est_a->record(attrs, kJobSeconds, 0);
+    est_b->record(attrs, kJobSeconds, 0);
+  }
+
+  sphinx::SphinxScheduler scheduler(sim, grid, &monitoring, estimate_db);
+  scheduler.add_site("site-a", {&exec_a, est_a});
+  scheduler.add_site("site-b", {&exec_b, est_b});
+  jobmon::JobMonitoringService jms(sim.clock(), &monitoring, estimate_db);
+  jms.attach_site("site-a", &exec_a);
+  jms.attach_site("site-b", &exec_b);
+
+  steering::SteeringService::Deps deps;
+  deps.sim = &sim;
+  deps.scheduler = &scheduler;
+  deps.jobmon = &jms;
+  deps.services = {{"site-a", &exec_a}, {"site-b", &exec_b}};
+  steering::SteeringOptions sopts;
+  sopts.auto_steer = !use_flocking;
+  sopts.optimizer_interval_seconds = optimizer_interval;
+  sopts.min_observation_seconds = min_observation;
+  sopts.slow_rate_threshold = slow_threshold;
+  steering::SteeringService steering(deps, sopts);
+
+  if (use_flocking) exec_a.flock_with(&exec_b);
+
+  exec::TaskSpec job;
+  job.id = "primes-1";
+  job.owner = "alice";
+  job.executable = "primes";
+  job.work_seconds = kJobSeconds;
+  job.checkpointable = checkpointable;
+  job.attributes = attrs;
+  sphinx::JobDescription desc;
+  desc.id = "j";
+  desc.owner = "alice";
+  desc.tasks.push_back({job, {}});
+
+  Outcome out;
+  steering.subscribe([&](const steering::Notification& n) {
+    if (n.kind == "moved" && out.move_time_s < 0) out.move_time_s = to_seconds(n.time);
+  });
+
+  if (!scheduler.submit(desc).is_ok()) return out;
+  sim.run_until(from_seconds(5000));
+
+  for (exec::ExecutionService* svc : {&exec_b, &exec_a}) {
+    auto info = svc->query("primes-1");
+    if (info.is_ok() && info.value().state == exec::TaskState::kCompleted) {
+      out.completion_s = to_seconds(info.value().completion_time);
+      break;
+    }
+  }
+  out.moves = steering.stats().auto_moves;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);  // keep demo output clean
+  std::printf("Ablation E6: steering policy vs fig-7 job completion time\n");
+  std::printf("(283 s job, site A load %.0f %%; unsteered baseline ~%.0f s)\n\n",
+              kSiteALoad * 100, kJobSeconds / (1 - kSiteALoad));
+
+  std::printf("-- decision cadence (threshold 0.5, observe>=2*interval, restart) --\n");
+  std::printf("%-22s %14s %12s\n", "optimizer_interval_s", "completion_s", "move_at_s");
+  for (double interval : {5.0, 15.0, 30.0, 60.0, 120.0}) {
+    const Outcome o = run(interval, 2 * interval, 0.5, false, false);
+    std::printf("%-22.0f %14.1f %12.1f\n", interval, o.completion_s, o.move_time_s);
+  }
+
+  std::printf("\n-- slow-rate threshold (15 s cadence, 30 s observation) --\n");
+  std::printf("%-22s %14s %12s %8s\n", "threshold", "completion_s", "move_at_s",
+              "moves");
+  for (double threshold : {0.05, 0.1, 0.3, 0.5, 0.9}) {
+    const Outcome o = run(15, 30, threshold, false, false);
+    std::printf("%-22.2f %14.1f %12.1f %8zu\n", threshold, o.completion_s, o.move_time_s,
+                o.moves);
+  }
+
+  std::printf("\n-- migration mechanism (15 s cadence, threshold 0.5) --\n");
+  std::printf("%-34s %14s\n", "mechanism", "completion_s");
+  {
+    const Outcome restart = run(15, 30, 0.5, false, false);
+    std::printf("%-34s %14.1f\n", "steer + restart from zero", restart.completion_s);
+    const Outcome ckpt = run(15, 30, 0.5, true, false);
+    std::printf("%-34s %14.1f\n", "steer + checkpointed migration", ckpt.completion_s);
+    const Outcome flock = run(15, 30, 0.5, true, true);
+    std::printf("%-34s %14.1f\n", "condor flocking only (no steering)",
+                flock.completion_s);
+    const Outcome none = run(1e9, 1e9, 0.0, false, false);
+    std::printf("%-34s %14.1f\n", "no steering (stays on site A)", none.completion_s);
+  }
+  return 0;
+}

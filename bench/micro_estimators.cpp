@@ -1,0 +1,67 @@
+// E8 micro-benchmarks: estimator core costs (similarity search + statistical
+// estimate) as history grows.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "estimators/runtime_estimator.h"
+#include "workload/paragon_trace.h"
+#include "workload/task_generator.h"
+
+namespace {
+
+using namespace gae;
+
+std::shared_ptr<estimators::TaskHistoryStore> make_history(std::size_t n,
+                                                           std::uint64_t seed) {
+  Rng rng(seed);
+  auto population = workload::ApplicationPopulation::make(rng, {});
+  workload::TraceOptions topts;
+  topts.num_records = n;
+  const auto trace = workload::generate_trace(population, rng, topts);
+  auto store = std::make_shared<estimators::TaskHistoryStore>();
+  for (const auto& rec : trace) {
+    store->add({workload::record_attributes(rec), rec.runtime_seconds(),
+                rec.complete_time, rec.successful});
+  }
+  return store;
+}
+
+void BM_Estimate(benchmark::State& state) {
+  auto store = make_history(static_cast<std::size_t>(state.range(0)), 7);
+  estimators::RuntimeEstimator estimator(store);
+  const auto& probe = store->entries().back().attributes;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(probe));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Estimate)->Range(64, 8192)->Complexity();
+
+void BM_Record(benchmark::State& state) {
+  auto store = std::make_shared<estimators::TaskHistoryStore>(
+      static_cast<std::size_t>(state.range(0)));
+  estimators::RuntimeEstimator estimator(store);
+  const std::map<std::string, std::string> attrs = {
+      {"executable", "app1"}, {"login", "u"}, {"queue", "q"}, {"nodes", "8"}};
+  for (auto _ : state) {
+    estimator.record(attrs, 123.0, 0);
+  }
+}
+BENCHMARK(BM_Record)->Arg(1024);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(11);
+    auto population = workload::ApplicationPopulation::make(rng, {});
+    workload::TraceOptions topts;
+    topts.num_records = static_cast<std::size_t>(state.range(0));
+    benchmark::DoNotOptimize(workload::generate_trace(population, rng, topts));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

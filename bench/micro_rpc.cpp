@@ -1,0 +1,92 @@
+// E7 micro-benchmarks: codec and transport costs of the web-service layer.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "rpc/client.h"
+#include "rpc/jsonrpc.h"
+#include "rpc/server.h"
+#include "rpc/xmlrpc.h"
+
+namespace {
+
+using namespace gae;
+using namespace gae::rpc;
+
+Value sample_struct(int entries) {
+  Struct s;
+  for (int i = 0; i < entries; ++i) {
+    const std::string key = "field" + std::to_string(i);
+    switch (i % 4) {
+      case 0: s[key] = Value(static_cast<std::int64_t>(i * 1234)); break;
+      case 1: s[key] = Value(i * 0.5); break;
+      case 2: s[key] = Value("value-" + std::to_string(i)); break;
+      default: s[key] = Value(Array{Value(i), Value("x"), Value(true)});
+    }
+  }
+  return Value(std::move(s));
+}
+
+void BM_XmlRpcEncode(benchmark::State& state) {
+  const Value v = sample_struct(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xmlrpc::encode_response(v));
+  }
+}
+BENCHMARK(BM_XmlRpcEncode)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_XmlRpcDecode(benchmark::State& state) {
+  const std::string xml =
+      xmlrpc::encode_response(sample_struct(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xmlrpc::decode_response(xml));
+  }
+}
+BENCHMARK(BM_XmlRpcDecode)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_JsonEncode(benchmark::State& state) {
+  const Value v = sample_struct(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(json::encode(v));
+  }
+}
+BENCHMARK(BM_JsonEncode)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_JsonDecode(benchmark::State& state) {
+  const std::string text = json::encode(sample_struct(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(json::decode(text));
+  }
+}
+BENCHMARK(BM_JsonDecode)->Arg(4)->Arg(16)->Arg(64);
+
+/// Full round trip over loopback TCP, one blocking client.
+void BM_RoundTrip(benchmark::State& state) {
+  auto dispatcher = std::make_shared<Dispatcher>();
+  dispatcher->register_method(
+      "echo", [](const Array& params, const CallContext&) -> gae::Result<Value> {
+        return params.empty() ? Value() : params.front();
+      });
+  RpcServer server(dispatcher, ServerOptions{0, 2});
+  auto port = server.start();
+  if (!port.is_ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+  const Protocol protocol = state.range(0) == 0 ? Protocol::kXmlRpc : Protocol::kJsonRpc;
+  RpcClient client("127.0.0.1", port.value(), protocol);
+  const Value payload = sample_struct(8);
+  for (auto _ : state) {
+    auto r = client.call("echo", {payload});
+    if (!r.is_ok()) {
+      state.SkipWithError("call failed");
+      return;
+    }
+  }
+  server.stop();
+}
+BENCHMARK(BM_RoundTrip)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

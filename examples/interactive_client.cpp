@@ -1,0 +1,215 @@
+// The web-services deployment: GAE services hosted on a Clarens host over
+// real TCP, driven by a language-neutral XML-RPC client — the way the paper's
+// users reached them.
+//
+// The process plays both roles: it starts the host (with authentication and
+// ACLs), then connects to itself as a client, logs in, discovers services,
+// monitors a job and steers it.
+//
+//   $ ./interactive_client
+#include <cstdio>
+#include <memory>
+
+#include "clarens/credentials.h"
+#include "clarens/host.h"
+#include "clarens/session_store.h"
+#include "estimators/runtime_estimator.h"
+#include "gridfile/file_service.h"
+#include "jobmon/rpc_binding.h"
+#include "jobmon/service.h"
+#include "monalisa/repository.h"
+#include "rpc/client.h"
+#include "sim/load.h"
+#include "sphinx/scheduler.h"
+#include "steering/rpc_binding.h"
+#include "steering/service.h"
+
+#include "common/log.h"
+
+using namespace gae;
+
+
+int main() {
+  set_log_level(LogLevel::kWarn);  // keep demo output clean
+  // --- Server side ----------------------------------------------------------
+  sim::Simulation sim;
+  sim::Grid grid;
+  grid.add_site("site-a").add_node("a0", 1.0, std::make_shared<sim::ConstantLoad>(0.8));
+  grid.add_site("site-b").add_node("b0", 1.0, nullptr);
+  exec::ExecutionService exec_a(sim, grid, "site-a");
+  exec::ExecutionService exec_b(sim, grid, "site-b");
+
+  monalisa::Repository monitoring;
+  auto estimate_db = std::make_shared<estimators::EstimateDatabase>();
+  auto est = std::make_shared<estimators::RuntimeEstimator>(
+      std::make_shared<estimators::TaskHistoryStore>());
+  std::map<std::string, std::string> attrs = {{"executable", "primes"},
+                                              {"login", "alice"},
+                                              {"queue", "short"},
+                                              {"nodes", "1"}};
+  for (int i = 0; i < 5; ++i) est->record(attrs, 283, 0);
+
+  sphinx::SphinxScheduler scheduler(sim, grid, &monitoring, estimate_db);
+  scheduler.add_site("site-a", {&exec_a, est});
+  scheduler.add_site("site-b", {&exec_b, est});
+  jobmon::JobMonitoringService jms(sim.clock(), &monitoring, estimate_db);
+  jms.attach_site("site-a", &exec_a);
+  jms.attach_site("site-b", &exec_b);
+
+  WallClock wall;
+  clarens::ClarensHost host("gae-host", wall);
+
+  // Grid security: alice authenticates with a delegated proxy certificate
+  // issued by the GAE certificate authority (no password needed).
+  clarens::CertificateAuthority ca("GAE-CA");
+  host.auth().trust(&ca);
+  const auto alice_cert = ca.issue("alice", wall.now() + from_seconds(86400));
+  auto alice_proxy =
+      clarens::CertificateAuthority::delegate(alice_cert, wall.now() + from_seconds(3600));
+
+  // VO-style authorisation: members of the cms group may monitor and steer.
+  host.acl().add_group_member("cms", "alice");
+  host.acl().allow("group:cms", "jobmon.");
+  host.acl().allow("group:cms", "steering.");
+  host.acl().allow("group:cms", "session.");
+  host.acl().allow("group:cms", "file.");
+
+  clarens::SessionStateStore sessions(wall);
+  clarens::register_session_methods(host, sessions);
+  gridfile::register_file_methods(host, grid, "site-b");
+
+  steering::SteeringService::Deps deps;
+  deps.sim = &sim;
+  deps.scheduler = &scheduler;
+  deps.jobmon = &jms;
+  deps.services = {{"site-a", &exec_a}, {"site-b", &exec_b}};
+  deps.auth = &host.auth();  // the Session Manager checks host identities
+  steering::SteeringOptions sopts;
+  sopts.auto_steer = false;  // the *user* steers in this example
+  steering::SteeringService steering(deps, sopts);
+
+  jobmon::register_jobmon_methods(host, jms);
+  steering::register_steering_methods(host, steering);
+
+  auto port = host.serve(0);
+  if (!port.is_ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", port.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("Clarens host serving on 127.0.0.1:%u\n\n", port.value());
+
+  // A job is already running on the loaded site.
+  exec::TaskSpec task;
+  task.id = "primes-1";
+  task.owner = "alice";
+  task.executable = "primes";
+  task.work_seconds = 283;
+  task.attributes = attrs;
+  sphinx::JobDescription job;
+  job.id = "interactive-session";
+  job.owner = "alice";
+  job.tasks.push_back({task, {}});
+  if (!scheduler.submit(job).is_ok()) return 1;
+  sim.run_until(from_seconds(120));  // by now: clearly too slow at site-a
+
+  // --- Client side ------------------------------------------------------------
+  rpc::RpcClient client("127.0.0.1", port.value(), rpc::Protocol::kXmlRpc);
+
+  // Certificate login happens in-process here (the wire format for cert
+  // chains is deployment-specific); the minted session token then drives
+  // every remote call, exactly as a password login would.
+  auto token = host.auth().login_with_chain(
+      {alice_proxy.value().certificate, alice_cert.certificate});
+  if (!token.is_ok()) {
+    std::fprintf(stderr, "certificate login failed: %s\n",
+                 token.status().to_string().c_str());
+    return 1;
+  }
+  client.set_session_token(token.value());
+  std::printf("logged in as alice via proxy certificate (session %.8s...)\n",
+              token.value().c_str());
+
+  auto services = client.call("system.discover", {rpc::Value("")});
+  if (services.is_ok()) {
+    std::printf("discovered services:\n");
+    for (const auto& s : services.value().as_array()) {
+      std::printf("  - %s\n", s.get_string("name", "?").c_str());
+    }
+  }
+
+  auto info = client.call("jobmon.info", {rpc::Value("primes-1")});
+  if (info.is_ok()) {
+    std::printf("\njob primes-1: %s at %s, progress %.1f%%, est runtime %.0fs, "
+                "remaining %.0fs cpu\n",
+                info.value().get_string("status", "?").c_str(),
+                info.value().get_string("site", "?").c_str(),
+                info.value().get_double("progress", 0) * 100,
+                info.value().get_double("estimated_runtime_seconds", 0),
+                info.value().get_double("remaining_seconds", 0));
+  }
+
+  std::printf("\nprogress is poor -> user moves the job to site-b\n");
+  auto moved = client.call("steering.move",
+                           {rpc::Value("primes-1"), rpc::Value("site-b")});
+  if (!moved.is_ok()) {
+    std::fprintf(stderr, "move failed: %s\n", moved.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("moved: now at %s (estimated total %.0fs there)\n",
+              moved.value().get_string("site", "?").c_str(),
+              moved.value().get_double("total_seconds", 0));
+
+  sim.run();  // let the moved job finish in virtual time
+
+  auto final_info = client.call("jobmon.info", {rpc::Value("primes-1")});
+  if (final_info.is_ok()) {
+    std::printf("final: %s at %s, completed at t=%.0fs\n",
+                final_info.value().get_string("status", "?").c_str(),
+                final_info.value().get_string("site", "?").c_str(),
+                final_info.value().get_double("completion_time", -1));
+  }
+
+  // Persist the analysis session so another client can resume it.
+  rpc::Struct state;
+  state["job"] = rpc::Value("interactive-session");
+  state["last_task"] = rpc::Value("primes-1");
+  state["note"] = rpc::Value("moved to site-b after slow start");
+  if (client.call("session.save", {rpc::Value("primes-study"), rpc::Value(state)})
+          .is_ok()) {
+    auto keys = client.call("session.list", {});
+    if (keys.is_ok()) {
+      std::printf("\nsaved analysis session; stored keys:");
+      for (const auto& k : keys.value().as_array()) {
+        std::printf(" %s", k.as_string().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Download the job's output through the Clarens file service.
+  auto outputs = client.call("file.list", {rpc::Value("primes-1")});
+  if (outputs.is_ok() && !outputs.value().as_array().empty()) {
+    const auto& f = outputs.value().as_array()[0];
+    auto chunk = client.call(
+        "file.read", {rpc::Value(f.get_string("name", "")), rpc::Value(0), rpc::Value(64)});
+    if (chunk.is_ok()) {
+      std::printf("downloaded %s (%lld bytes total), first bytes: %.32s...\n",
+                  f.get_string("name", "").c_str(),
+                  static_cast<long long>(f.get_int("bytes", 0)),
+                  chunk.value().get_string("data", "").c_str());
+    }
+  }
+
+  auto notes = client.call("steering.notifications", {});
+  if (notes.is_ok()) {
+    std::printf("\nsteering notification log:\n");
+    for (const auto& n : notes.value().as_array()) {
+      std::printf("  t=%7.1fs %-10s %s %s\n", n.get_double("time", 0),
+                  n.get_string("kind", "").c_str(), n.get_string("task_id", "").c_str(),
+                  n.get_string("detail", "").c_str());
+    }
+  }
+
+  host.stop();
+  return 0;
+}

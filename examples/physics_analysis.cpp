@@ -1,0 +1,157 @@
+// A CMS-style physics analysis session (the workload §2 motivates):
+//
+//  - a DAG job: skim -> three parallel reconstruction passes -> merge;
+//  - input datasets that live on specific storage elements, so the scheduler
+//    trades compute speed against staging cost;
+//  - an execution-service failure mid-run, recovered automatically by the
+//    steering service's Backup & Recovery module;
+//  - job-state history published to the MonALISA repository.
+//
+//   $ ./physics_analysis
+#include <cstdio>
+#include <memory>
+
+#include "estimators/recorder.h"
+#include "jobmon/service.h"
+#include "monalisa/repository.h"
+#include "sim/load.h"
+#include "sphinx/scheduler.h"
+#include "steering/service.h"
+
+#include "common/log.h"
+
+using namespace gae;
+
+
+namespace {
+
+exec::TaskSpec analysis_task(const std::string& id, const std::string& exe, double work) {
+  exec::TaskSpec t;
+  t.id = id;
+  t.owner = "physicist";
+  t.executable = exe;
+  t.work_seconds = work;
+  t.checkpointable = true;
+  t.output_bytes = 10'000'000;
+  t.attributes = {{"executable", exe}, {"login", "physicist"}, {"queue", "cms"},
+                  {"nodes", "1"}};
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);  // keep demo output clean
+  sim::Simulation sim;
+  sim::Grid grid;
+  // Tier-0 holds the raw dataset; two analysis sites with different capacity.
+  grid.add_site("tier0-cern").add_node("t0-n0", 1.0, nullptr);
+  auto& fnal = grid.add_site("fnal");
+  fnal.add_node("fnal-n0", 1.2, nullptr);
+  fnal.add_node("fnal-n1", 1.2, nullptr);
+  grid.add_site("nust").add_node("nust-n0", 0.8,
+                                 std::make_shared<sim::ConstantLoad>(0.3));
+  grid.set_default_link({50e6, from_millis(40)});                 // 50 MB/s WAN
+  grid.set_symmetric_link("tier0-cern", "fnal", {200e6, from_millis(15)});
+  grid.site("tier0-cern").store_file("run2026-raw.root", 20'000'000'000);  // 20 GB
+
+  std::map<std::string, std::unique_ptr<exec::ExecutionService>> execs;
+  std::map<std::string, std::shared_ptr<estimators::RuntimeEstimator>> estimators_by_site;
+  std::vector<std::unique_ptr<estimators::SiteRuntimeRecorder>> recorders;
+  for (const auto& site : grid.site_names()) {
+    execs[site] = std::make_unique<exec::ExecutionService>(sim, grid, site);
+    auto est = std::make_shared<estimators::RuntimeEstimator>(
+        std::make_shared<estimators::TaskHistoryStore>());
+    // Pre-seed from "previous analysis rounds" so planning is informed.
+    for (int i = 0; i < 4; ++i) {
+      est->record(analysis_task("h", "skim", 1).attributes, 600, 0);
+      est->record(analysis_task("h", "reco", 1).attributes, 900, 0);
+      est->record(analysis_task("h", "merge", 1).attributes, 300, 0);
+    }
+    estimators_by_site[site] = est;
+    recorders.push_back(
+        std::make_unique<estimators::SiteRuntimeRecorder>(*execs[site], est));
+  }
+
+  monalisa::Repository monitoring;
+  auto estimate_db = std::make_shared<estimators::EstimateDatabase>();
+  sphinx::SphinxScheduler scheduler(sim, grid, &monitoring, estimate_db);
+  jobmon::JobMonitoringService jms(sim.clock(), &monitoring, estimate_db);
+  for (const auto& site : grid.site_names()) {
+    scheduler.add_site(site, {execs[site].get(), estimators_by_site[site]});
+    jms.attach_site(site, execs[site].get());
+  }
+
+  steering::SteeringService::Deps deps;
+  deps.sim = &sim;
+  deps.scheduler = &scheduler;
+  deps.jobmon = &jms;
+  for (const auto& site : grid.site_names()) deps.services[site] = execs[site].get();
+  steering::SteeringOptions sopts;
+  sopts.recovery_interval_seconds = 20;
+  steering::SteeringService steering(deps, sopts);
+  steering.subscribe([](const steering::Notification& n) {
+    std::printf("  [steering %8.1fs] %-15s %-12s %s\n", to_seconds(n.time),
+                n.kind.c_str(), n.task_id.c_str(), n.detail.c_str());
+  });
+
+  // --- The analysis DAG.
+  sphinx::JobDescription job;
+  job.id = "cms-analysis-7";
+  job.owner = "physicist";
+  auto skim = analysis_task("skim", "skim", 600);
+  skim.input_files = {"run2026-raw.root"};
+  job.tasks.push_back({skim, {}});
+  for (int i = 0; i < 3; ++i) {
+    auto reco = analysis_task("reco-" + std::to_string(i), "reco", 900);
+    job.tasks.push_back({reco, {"skim"}});
+  }
+  auto merge = analysis_task("merge", "merge", 300);
+  job.tasks.push_back({merge, {"reco-0", "reco-1", "reco-2"}});
+
+  auto plan = scheduler.submit(job);
+  if (!plan.is_ok()) {
+    std::fprintf(stderr, "submit failed: %s\n", plan.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("concrete job plan (%zu tasks):\n", plan.value().placements.size());
+  for (const auto& p : plan.value().placements) {
+    std::printf("  %-8s -> %-12s run %5.0fs queue %5.0fs transfer %6.0fs\n",
+                p.task_id.c_str(), p.site.c_str(), p.score.est_runtime_seconds,
+                p.score.est_queue_seconds, p.score.est_transfer_seconds);
+  }
+  std::printf("\n");
+
+  // Disaster strikes: the busiest analysis site dies 20 virtual minutes in.
+  sim.schedule_at(from_seconds(1200), [&] {
+    std::printf("  [grid     %8.1fs] !!! fnal execution service fails\n", 1200.0);
+    execs["fnal"]->fail_service("cooling failure");
+  });
+  sim.schedule_at(from_seconds(2400), [&] {
+    std::printf("  [grid     %8.1fs] fnal execution service restored\n", 2400.0);
+    execs["fnal"]->recover_service();
+  });
+
+  sim.run(5'000'000);
+
+  auto status = scheduler.job_status("cms-analysis-7");
+  if (status.is_ok()) {
+    std::printf("\njob state: %s (%zu/%zu tasks completed, %zu failed)\n",
+                status.value().state == sphinx::JobState::kCompleted ? "COMPLETED"
+                                                                     : "NOT COMPLETE",
+                status.value().tasks_completed, status.value().tasks_total,
+                status.value().tasks_failed);
+  }
+  std::printf("steering stats: %zu auto moves, %zu recoveries, %zu completions\n",
+              steering.stats().auto_moves, steering.stats().recoveries,
+              steering.stats().completions);
+  std::printf("MonALISA recorded %zu job-state updates\n", monitoring.event_count());
+
+  auto merged = jms.info("merge");
+  if (merged.is_ok() && merged.value().info.state == exec::TaskState::kCompleted) {
+    std::printf("analysis result %s.out produced at %s, t=%.0fs\n",
+                merged.value().info.spec.id.c_str(), merged.value().site.c_str(),
+                to_seconds(merged.value().info.completion_time));
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Quickstart: the smallest end-to-end GAE deployment.
+//
+// Builds a two-site simulated grid, wires up the full service ensemble
+// (execution services, runtime estimators, Sphinx scheduler, Job Monitoring
+// Service, Steering Service), submits one job, and watches it run — all in
+// virtual time, so this finishes instantly.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <memory>
+
+#include "estimators/recorder.h"
+#include "jobmon/service.h"
+#include "monalisa/repository.h"
+#include "sim/load.h"
+#include "sphinx/scheduler.h"
+#include "steering/service.h"
+
+#include "common/log.h"
+
+using namespace gae;
+
+
+int main() {
+  set_log_level(LogLevel::kWarn);  // keep demo output clean
+  // --- 1. A simulated grid: site "cern" is busy, site "caltech" is idle.
+  sim::Simulation sim;
+  sim::Grid grid;
+  grid.add_site("cern").add_node("cern-n0", 1.0,
+                                 std::make_shared<sim::ConstantLoad>(0.7));
+  grid.add_site("caltech").add_node("ct-n0", 1.0, nullptr);
+  grid.set_default_link({100e6, from_millis(20)});
+
+  // --- 2. One execution service + runtime estimator per site. The recorder
+  //        feeds each site's completions back into its history (§6.1).
+  exec::ExecutionService exec_cern(sim, grid, "cern");
+  exec::ExecutionService exec_caltech(sim, grid, "caltech");
+  auto est_cern = std::make_shared<estimators::RuntimeEstimator>(
+      std::make_shared<estimators::TaskHistoryStore>());
+  auto est_caltech = std::make_shared<estimators::RuntimeEstimator>(
+      std::make_shared<estimators::TaskHistoryStore>());
+  estimators::SiteRuntimeRecorder rec_cern(exec_cern, est_cern);
+  estimators::SiteRuntimeRecorder rec_caltech(exec_caltech, est_caltech);
+
+  // --- 3. Shared infrastructure: MonALISA repository, estimate database,
+  //        Sphinx scheduler, Job Monitoring Service, Steering Service.
+  monalisa::Repository monitoring;
+  auto estimate_db = std::make_shared<estimators::EstimateDatabase>();
+  sphinx::SphinxScheduler scheduler(sim, grid, &monitoring, estimate_db);
+  scheduler.add_site("cern", {&exec_cern, est_cern});
+  scheduler.add_site("caltech", {&exec_caltech, est_caltech});
+
+  jobmon::JobMonitoringService jms(sim.clock(), &monitoring, estimate_db);
+  jms.attach_site("cern", &exec_cern);
+  jms.attach_site("caltech", &exec_caltech);
+
+  steering::SteeringService::Deps deps;
+  deps.sim = &sim;
+  deps.scheduler = &scheduler;
+  deps.jobmon = &jms;
+  deps.services = {{"cern", &exec_cern}, {"caltech", &exec_caltech}};
+  steering::SteeringService steering(deps);
+  steering.subscribe([](const steering::Notification& n) {
+    std::printf("  [steering %7.1fs] %s %s %s\n", to_seconds(n.time), n.kind.c_str(),
+                n.task_id.c_str(), n.detail.c_str());
+  });
+
+  // --- 4. Submit a physics-analysis job through the scheduler.
+  exec::TaskSpec task;
+  task.id = "higgs-scan-1";
+  task.owner = "alice";
+  task.executable = "higgs-scan";
+  task.work_seconds = 180.0;  // needs 3 minutes on a free reference CPU
+  task.output_bytes = 25'000'000;
+  task.attributes = {{"executable", "higgs-scan"}, {"login", "alice"},
+                     {"queue", "analysis"}, {"nodes", "1"}};
+
+  sphinx::JobDescription job;
+  job.id = "analysis-session-42";
+  job.owner = "alice";
+  job.tasks.push_back({task, {}});
+
+  auto plan = scheduler.submit(job);
+  if (!plan.is_ok()) {
+    std::fprintf(stderr, "submit failed: %s\n", plan.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("job planned: task %s -> site %s (est %.0fs runtime, %.0fs queue)\n",
+              plan.value().placements[0].task_id.c_str(),
+              plan.value().placements[0].site.c_str(),
+              plan.value().placements[0].score.est_runtime_seconds,
+              plan.value().placements[0].score.est_queue_seconds);
+
+  // --- 5. Watch it run: poll the Job Monitoring Service every 30 s (virtual).
+  for (double t = 30; t <= 600; t += 30) {
+    sim.schedule_at(from_seconds(t), [&, t] {
+      auto info = jms.info("higgs-scan-1");
+      if (!info.is_ok()) return;
+      std::printf("  [monitor  %7.1fs] %-9s progress %5.1f%%  cpu %6.1fs  site %s\n", t,
+                  exec::task_state_name(info.value().info.state),
+                  info.value().info.progress * 100, info.value().info.cpu_seconds_used,
+                  info.value().site.c_str());
+    });
+  }
+  sim.run();
+
+  auto final_info = jms.info("higgs-scan-1");
+  if (final_info.is_ok()) {
+    std::printf("\nfinal state: %s at %s after %.1f s wall\n",
+                exec::task_state_name(final_info.value().info.state),
+                final_info.value().site.c_str(), final_info.value().elapsed_seconds);
+    for (const auto& [site, svc] :
+         std::map<std::string, exec::ExecutionService*>{{"cern", &exec_cern},
+                                                        {"caltech", &exec_caltech}}) {
+      for (const auto& f : svc->local_output_files("higgs-scan-1")) {
+        std::printf("output available: %s at %s\n", f.c_str(), site.c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Accounting-trace tooling: generate a synthetic Paragon-style trace, save
+// it to CSV, reload it, print summary statistics, and evaluate the runtime
+// estimator against it — the full fig-5 pipeline as a reusable command-line
+// tool.
+//
+//   $ ./trace_explorer                 # generate + evaluate, default seed
+//   $ ./trace_explorer 7               # different seed
+//   $ ./trace_explorer 7 /tmp/t.csv    # also keep the CSV
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "estimators/runtime_estimator.h"
+#include "workload/task_generator.h"
+#include "workload/trace_io.h"
+
+#include "common/log.h"
+
+using namespace gae;
+
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);  // keep demo output clean
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1995;
+  const std::string csv_path = argc > 2 ? argv[2] : "";
+
+  // --- Generate.
+  Rng rng(seed);
+  workload::PopulationOptions popts;
+  popts.num_applications = 16;
+  auto population = workload::ApplicationPopulation::make(rng, popts);
+  workload::TraceOptions topts;
+  topts.num_records = 500;
+  auto trace = workload::generate_trace(population, rng, topts);
+  std::printf("generated %zu accounting records (seed %llu)\n", trace.size(),
+              static_cast<unsigned long long>(seed));
+
+  // --- Round-trip through CSV (and optionally keep the file).
+  const std::string csv = workload::trace_to_csv(trace);
+  auto reloaded = workload::trace_from_csv(csv);
+  if (!reloaded.is_ok()) {
+    std::fprintf(stderr, "CSV round trip failed: %s\n",
+                 reloaded.status().to_string().c_str());
+    return 1;
+  }
+  trace = std::move(reloaded).value();
+  std::printf("CSV round trip ok (%zu bytes)\n", csv.size());
+  if (!csv_path.empty()) {
+    if (workload::save_trace(trace, csv_path).is_ok()) {
+      std::printf("saved trace to %s\n", csv_path.c_str());
+    }
+  }
+
+  // --- Summarise.
+  RunningStats runtimes, queue_waits, nodes;
+  std::map<std::string, int> per_queue;
+  int failures = 0;
+  for (const auto& r : trace) {
+    runtimes.add(r.runtime_seconds());
+    queue_waits.add(to_seconds(r.start_time - r.submit_time));
+    nodes.add(r.nodes);
+    ++per_queue[r.queue];
+    if (!r.successful) ++failures;
+  }
+  std::printf("\n-- trace summary --\n");
+  std::printf("runtime  : mean %8.1fs  sd %8.1fs  min %7.1fs  max %9.1fs\n",
+              runtimes.mean(), runtimes.stddev(), runtimes.min(), runtimes.max());
+  std::printf("queue    : mean %8.1fs  max %8.1fs\n", queue_waits.mean(),
+              queue_waits.max());
+  std::printf("nodes    : mean %8.1f   max %8.0f\n", nodes.mean(), nodes.max());
+  std::printf("failures : %d / %zu\n", failures, trace.size());
+  std::printf("queues   :");
+  for (const auto& [q, n] : per_queue) std::printf(" %s=%d", q.c_str(), n);
+  std::printf("\n");
+
+  // --- Evaluate the runtime estimator with a growing history (online mode:
+  //     predict each job from everything before it).
+  auto store = std::make_shared<estimators::TaskHistoryStore>();
+  estimators::RuntimeEstimatorOptions eopts;
+  eopts.min_matches = 2;
+  estimators::RuntimeEstimator estimator(store, estimators::SimilarityMatcher(), eopts);
+
+  RunningStats abs_err;
+  std::vector<double> errors;
+  for (const auto& r : trace) {
+    const auto attrs = workload::record_attributes(r);
+    if (store->size() >= 20 && r.successful) {
+      auto est = estimator.estimate(attrs);
+      if (est.is_ok()) {
+        const double e =
+            std::fabs(r.runtime_seconds() - est.value().seconds) / r.runtime_seconds() * 100.0;
+        abs_err.add(e);
+        errors.push_back(e);
+      }
+    }
+    estimator.record(attrs, r.runtime_seconds(), r.complete_time, r.successful);
+  }
+  std::printf("\n-- online estimator evaluation --\n");
+  std::printf("predictions : %zu\n", errors.size());
+  std::printf("mean |%%err| : %.2f %%\n", abs_err.mean());
+  std::printf("median      : %.2f %%    p90: %.2f %%\n", percentile(errors, 50),
+              percentile(errors, 90));
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "clarens/access_control.h"
+
+namespace gae::clarens {
+
+void AccessControl::allow(const std::string& principal, const std::string& method_prefix) {
+  rules_.push_back({principal, method_prefix, true});
+}
+
+void AccessControl::deny(const std::string& principal, const std::string& method_prefix) {
+  rules_.push_back({principal, method_prefix, false});
+}
+
+void AccessControl::add_group_member(const std::string& group, const std::string& user) {
+  groups_[group].insert(user);
+}
+
+bool AccessControl::is_member(const std::string& group, const std::string& user) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() && it->second.count(user) != 0;
+}
+
+int AccessControl::principal_specificity(const Rule& rule) const {
+  if (rule.principal == "*") return 0;
+  if (rule.principal.rfind("group:", 0) == 0) return 1;
+  return 2;
+}
+
+bool AccessControl::principal_matches(const Rule& rule, const std::string& user) const {
+  if (rule.principal == "*") return true;
+  if (rule.principal.rfind("group:", 0) == 0) {
+    return is_member(rule.principal.substr(6), user);
+  }
+  return rule.principal == user;
+}
+
+bool AccessControl::check(const std::string& user, const std::string& method) const {
+  // Longest matching prefix wins; at equal length a more specific principal
+  // (user > group > wildcard) wins; deny beats allow on a full tie.
+  const Rule* best = nullptr;
+  for (const auto& rule : rules_) {
+    if (!principal_matches(rule, user)) continue;
+    if (method.rfind(rule.prefix, 0) != 0) continue;
+    if (!best) {
+      best = &rule;
+      continue;
+    }
+    if (rule.prefix.size() > best->prefix.size()) {
+      best = &rule;
+    } else if (rule.prefix.size() == best->prefix.size()) {
+      const int rs = principal_specificity(rule);
+      const int bs = principal_specificity(*best);
+      if (rs > bs) {
+        best = &rule;
+      } else if (rs == bs && !rule.allow) {
+        best = &rule;
+      }
+    }
+  }
+  if (best) return best->allow;
+  return method.rfind("system.", 0) == 0;  // built-ins are open by default
+}
+
+}  // namespace gae::clarens

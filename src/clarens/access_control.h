@@ -1,0 +1,49 @@
+// Method-level access control lists.
+//
+// Rules grant users (or "*") access to method-name prefixes. The most
+// specific matching rule wins; a deny beats an allow at equal specificity.
+// With no matching rule access is denied, except for the "system." methods
+// every Clarens host exposes.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gae::clarens {
+
+class AccessControl {
+ public:
+  /// Grants access to methods starting with prefix. `principal` is a user
+  /// name, "group:NAME" (virtual-organisation group), or "*" for everyone.
+  void allow(const std::string& principal, const std::string& method_prefix);
+
+  /// Denies methods starting with prefix for the principal.
+  void deny(const std::string& principal, const std::string& method_prefix);
+
+  /// Adds a user to a VO group usable as "group:NAME" in rules.
+  void add_group_member(const std::string& group, const std::string& user);
+  bool is_member(const std::string& group, const std::string& user) const;
+
+  /// Whether `user` may call `method`.
+  bool check(const std::string& user, const std::string& method) const;
+
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  struct Rule {
+    std::string principal;
+    std::string prefix;
+    bool allow;
+  };
+  /// 2 = named user, 1 = group, 0 = wildcard (higher beats lower at equal
+  /// prefix length).
+  int principal_specificity(const Rule& rule) const;
+  bool principal_matches(const Rule& rule, const std::string& user) const;
+
+  std::vector<Rule> rules_;
+  std::map<std::string, std::set<std::string>> groups_;
+};
+
+}  // namespace gae::clarens

@@ -1,0 +1,124 @@
+#include "clarens/credentials.h"
+
+#include "common/id.h"
+
+namespace gae::clarens {
+
+namespace {
+
+std::uint64_t fnv(const std::string& s, std::uint64_t h = 1469598103934665603ULL) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Structural signature: hash of all fields bound to the signing key.
+std::uint64_t sign(const Certificate& cert, const std::string& signing_key) {
+  std::uint64_t h = fnv(cert.subject);
+  h = fnv(cert.issuer, h);
+  h = fnv(cert.public_key, h);
+  h = fnv(std::to_string(cert.not_after), h);
+  h = fnv(cert.is_proxy ? "proxy" : "cert", h);
+  h = fnv(std::to_string(cert.delegation_budget), h);
+  h = fnv(signing_key, h);
+  return h;
+}
+
+}  // namespace
+
+std::string subject_cn(const std::string& subject) {
+  const std::string marker = "CN=";
+  const auto pos = subject.find(marker);
+  if (pos == std::string::npos) return "";
+  const auto start = pos + marker.size();
+  const auto end = subject.find('/', start);
+  return subject.substr(start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+CertificateAuthority::CertificateAuthority(std::string name)
+    : name_(std::move(name)), key_("ca-key-" + make_token()) {}
+
+CredentialPair CertificateAuthority::issue(const std::string& cn, SimTime not_after,
+                                           int delegation_budget) const {
+  CredentialPair pair;
+  pair.private_key = "key-" + make_token();
+  Certificate& cert = pair.certificate;
+  cert.subject = "/O=GAE/CN=" + cn;
+  cert.issuer = name_;
+  cert.public_key = pair.private_key;  // simulated key pair: same identifier
+  cert.not_after = not_after;
+  cert.is_proxy = false;
+  cert.delegation_budget = delegation_budget;
+  cert.signature = sign(cert, key_);
+  return pair;
+}
+
+Result<CredentialPair> CertificateAuthority::delegate(const CredentialPair& parent,
+                                                      SimTime not_after) {
+  if (parent.certificate.delegation_budget <= 0) {
+    return failed_precondition_error("delegation budget exhausted for " +
+                                     parent.certificate.subject);
+  }
+  CredentialPair proxy;
+  proxy.private_key = "key-" + make_token();
+  Certificate& cert = proxy.certificate;
+  cert.subject = parent.certificate.subject + "/proxy";
+  cert.issuer = parent.certificate.subject;
+  cert.public_key = proxy.private_key;
+  cert.not_after = std::min(not_after, parent.certificate.not_after);
+  cert.is_proxy = true;
+  cert.delegation_budget = parent.certificate.delegation_budget - 1;
+  cert.signature = sign(cert, parent.private_key);
+  return proxy;
+}
+
+Result<std::string> CertificateAuthority::verify_chain(
+    const std::vector<Certificate>& chain, SimTime now) const {
+  if (chain.empty()) return invalid_argument_error("empty certificate chain");
+
+  // The chain is leaf-first; the last entry must be a CA-signed user cert.
+  const Certificate& base = chain.back();
+  if (base.is_proxy) return permission_denied_error("chain has no base user certificate");
+  if (base.issuer != name_) {
+    return permission_denied_error("untrusted issuer: " + base.issuer);
+  }
+  if (base.signature != sign(base, key_)) {
+    return permission_denied_error("bad signature on " + base.subject);
+  }
+  if (now > base.not_after) {
+    return unauthenticated_error("certificate expired: " + base.subject);
+  }
+
+  // Walk proxies from the base outwards: each must be signed by its parent's
+  // key, expire no later, and respect the delegation budget.
+  for (std::size_t i = chain.size() - 1; i-- > 0;) {
+    const Certificate& parent = chain[i + 1];
+    const Certificate& proxy = chain[i];
+    if (!proxy.is_proxy) {
+      return permission_denied_error("non-proxy certificate above the base");
+    }
+    if (proxy.issuer != parent.subject) {
+      return permission_denied_error("broken chain at " + proxy.subject);
+    }
+    if (parent.delegation_budget <= 0) {
+      return permission_denied_error("delegation budget exhausted at " + parent.subject);
+    }
+    if (proxy.delegation_budget != parent.delegation_budget - 1) {
+      return permission_denied_error("delegation budget mismatch at " + proxy.subject);
+    }
+    if (proxy.signature != sign(proxy, parent.public_key)) {
+      return permission_denied_error("bad signature on " + proxy.subject);
+    }
+    if (proxy.not_after > parent.not_after) {
+      return permission_denied_error("proxy outlives parent: " + proxy.subject);
+    }
+    if (now > proxy.not_after) {
+      return unauthenticated_error("proxy expired: " + proxy.subject);
+    }
+  }
+  return subject_cn(base.subject);
+}
+
+}  // namespace gae::clarens

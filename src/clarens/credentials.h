@@ -1,0 +1,67 @@
+// Simulated grid PKI: the Clarens framework authenticated users with
+// X.509/GSI certificates and proxy delegation. This module models the
+// *structure* of that system — a certificate authority, user certificates,
+// bounded proxy-delegation chains, expiry — with a structural (NOT
+// cryptographic) signature: a hash over the certificate fields and the
+// issuer's key. Tampering is detected; real-world forgery resistance is out
+// of scope for a simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_types.h"
+
+namespace gae::clarens {
+
+struct Certificate {
+  std::string subject;       // "/O=GAE/CN=alice" or ".../CN=alice/proxy"
+  std::string issuer;        // CA name or parent subject for proxies
+  std::string public_key;    // opaque identifier of the key pair
+  SimTime not_after = 0;     // expiry instant
+  bool is_proxy = false;
+  /// Remaining times this certificate may itself be delegated.
+  int delegation_budget = 0;
+  /// Structural signature over the fields, bound to the issuer key.
+  std::uint64_t signature = 0;
+};
+
+/// A certificate together with the (secret) key that can sign delegations.
+struct CredentialPair {
+  Certificate certificate;
+  std::string private_key;
+};
+
+/// Extracts the CN component of a subject ("" when absent).
+std::string subject_cn(const std::string& subject);
+
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Issues a user certificate valid until `not_after`, allowing up to
+  /// `delegation_budget` levels of proxy delegation.
+  CredentialPair issue(const std::string& cn, SimTime not_after,
+                       int delegation_budget = 3) const;
+
+  /// Derives a proxy from a parent credential. The proxy expires no later
+  /// than the parent and spends one level of delegation budget.
+  /// FAILED_PRECONDITION when the parent's budget is exhausted.
+  static Result<CredentialPair> delegate(const CredentialPair& parent, SimTime not_after);
+
+  /// Verifies a chain ordered leaf-first (proxy..., user cert last):
+  /// signatures, expiry at `now`, issuer linkage, proxy budgets. Returns the
+  /// CN of the base user certificate.
+  Result<std::string> verify_chain(const std::vector<Certificate>& chain,
+                                   SimTime now) const;
+
+ private:
+  std::string name_;
+  std::string key_;  // the CA key pair identifier
+};
+
+}  // namespace gae::clarens

@@ -1,0 +1,57 @@
+#include "clarens/registry.h"
+
+namespace gae::clarens {
+
+void ServiceRegistry::register_service(ServiceInfo info) {
+  services_[info.name] = std::move(info);
+}
+
+Status ServiceRegistry::deregister_service(const std::string& name) {
+  if (services_.erase(name) == 0) return not_found_error("no such service: " + name);
+  return Status::ok();
+}
+
+Result<ServiceInfo> ServiceRegistry::lookup(const std::string& name) const {
+  std::set<const ServiceRegistry*> visited;
+  return lookup_visited(name, visited);
+}
+
+Result<ServiceInfo> ServiceRegistry::lookup_visited(
+    const std::string& name, std::set<const ServiceRegistry*>& visited) const {
+  if (!visited.insert(this).second) return not_found_error("already visited");
+  auto it = services_.find(name);
+  if (it != services_.end()) return it->second;
+  for (const ServiceRegistry* peer : peers_) {
+    auto found = peer->lookup_visited(name, visited);
+    if (found.is_ok()) return found;
+  }
+  return not_found_error("service not found: " + name);
+}
+
+std::vector<ServiceInfo> ServiceRegistry::discover(const std::string& prefix) const {
+  std::set<const ServiceRegistry*> visited;
+  std::map<std::string, ServiceInfo> found;
+  discover_visited(prefix, visited, found);
+  std::vector<ServiceInfo> out;
+  out.reserve(found.size());
+  for (auto& [_, info] : found) out.push_back(std::move(info));
+  return out;
+}
+
+void ServiceRegistry::discover_visited(const std::string& prefix,
+                                       std::set<const ServiceRegistry*>& visited,
+                                       std::map<std::string, ServiceInfo>& out) const {
+  if (!visited.insert(this).second) return;
+  for (const auto& [name, info] : services_) {
+    if (name.rfind(prefix, 0) == 0 && !out.count(name)) out.emplace(name, info);
+  }
+  for (const ServiceRegistry* peer : peers_) {
+    peer->discover_visited(prefix, visited, out);
+  }
+}
+
+void ServiceRegistry::add_peer(const ServiceRegistry* peer) {
+  if (peer && peer != this) peers_.push_back(peer);
+}
+
+}  // namespace gae::clarens

@@ -1,0 +1,64 @@
+// Service lookup and discovery.
+//
+// Clarens "enables users and services to dynamically discover other services
+// and resources within the GAE through a peer-to-peer based lookup service".
+// Each host keeps a local registry; lookups that miss locally are forwarded
+// to peer registries breadth-first (with a visited set, so arbitrary peer
+// graphs terminate).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_types.h"
+
+namespace gae::clarens {
+
+struct ServiceInfo {
+  std::string name;        // e.g. "jobmon@site-a"
+  std::string host;        // "127.0.0.1" or a site name
+  std::uint16_t port = 0;  // 0 for in-process services
+  std::string protocol = "xmlrpc";
+  std::map<std::string, std::string> metadata;
+  SimTime registered_at = 0;
+};
+
+class ServiceRegistry {
+ public:
+  explicit ServiceRegistry(std::string host_name) : host_name_(std::move(host_name)) {}
+
+  const std::string& host_name() const { return host_name_; }
+
+  /// Registers or refreshes a service entry.
+  void register_service(ServiceInfo info);
+  Status deregister_service(const std::string& name);
+
+  /// Local-then-peer lookup; NOT_FOUND when nobody knows the name.
+  Result<ServiceInfo> lookup(const std::string& name) const;
+
+  /// All services (local and peer-known) whose name starts with `prefix`.
+  std::vector<ServiceInfo> discover(const std::string& prefix) const;
+
+  /// Adds a peer registry for P2P lookups (one direction; call on both sides
+  /// for a symmetric mesh).
+  void add_peer(const ServiceRegistry* peer);
+
+  std::size_t local_count() const { return services_.size(); }
+
+ private:
+  Result<ServiceInfo> lookup_visited(const std::string& name,
+                                     std::set<const ServiceRegistry*>& visited) const;
+  void discover_visited(const std::string& prefix,
+                        std::set<const ServiceRegistry*>& visited,
+                        std::map<std::string, ServiceInfo>& out) const;
+
+  std::string host_name_;
+  std::map<std::string, ServiceInfo> services_;
+  std::vector<const ServiceRegistry*> peers_;
+};
+
+}  // namespace gae::clarens

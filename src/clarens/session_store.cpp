@@ -1,0 +1,128 @@
+#include "clarens/session_store.h"
+
+#include "clarens/host.h"
+
+namespace gae::clarens {
+
+using rpc::Array;
+using rpc::CallContext;
+using rpc::Struct;
+using rpc::Value;
+
+Status SessionStateStore::put(const std::string& user, const std::string& key,
+                              rpc::Value content, int expected_version) {
+  if (user.empty()) return invalid_argument_error("user must not be empty");
+  if (key.empty()) return invalid_argument_error("session key must not be empty");
+  SessionDocument& doc = docs_[user][key];
+  if (expected_version >= 0 && doc.version != expected_version) {
+    return failed_precondition_error("version conflict on " + key + ": stored " +
+                                     std::to_string(doc.version) + ", expected " +
+                                     std::to_string(expected_version));
+  }
+  doc.content = std::move(content);
+  ++doc.version;
+  doc.updated_at = clock_.now();
+  return Status::ok();
+}
+
+Result<SessionDocument> SessionStateStore::get(const std::string& user,
+                                               const std::string& key) const {
+  auto uit = docs_.find(user);
+  if (uit == docs_.end()) return not_found_error("no sessions for user " + user);
+  auto kit = uit->second.find(key);
+  if (kit == uit->second.end()) return not_found_error("no session document " + key);
+  return kit->second;
+}
+
+std::vector<std::string> SessionStateStore::list(const std::string& user) const {
+  std::vector<std::string> out;
+  auto uit = docs_.find(user);
+  if (uit == docs_.end()) return out;
+  out.reserve(uit->second.size());
+  for (const auto& [key, _] : uit->second) out.push_back(key);
+  return out;
+}
+
+Status SessionStateStore::remove(const std::string& user, const std::string& key) {
+  auto uit = docs_.find(user);
+  if (uit == docs_.end() || uit->second.erase(key) == 0) {
+    return not_found_error("no session document " + key);
+  }
+  if (uit->second.empty()) docs_.erase(uit);
+  return Status::ok();
+}
+
+std::size_t SessionStateStore::total_documents() const {
+  std::size_t n = 0;
+  for (const auto& [_, docs] : docs_) n += docs.size();
+  return n;
+}
+
+void register_session_methods(ClarensHost& host, SessionStateStore& store) {
+  auto& d = host.dispatcher();
+  ClarensHost* host_ptr = &host;
+
+  // session.save(key, document[, expected_version]) -> {version}
+  d.register_method(
+      "session.save",
+      [host_ptr, &store](const Array& params, const CallContext& ctx) -> Result<Value> {
+        auto user = host_ptr->user_of(ctx);
+        if (!user.is_ok()) return user.status();
+        if (params.size() < 2 || !params[0].is_string()) {
+          return invalid_argument_error("session.save(key, document[, expected_version])");
+        }
+        const int expected =
+            params.size() > 2 ? static_cast<int>(params[2].as_int()) : -1;
+        const Status s = store.put(user.value(), params[0].as_string(), params[1], expected);
+        if (!s.is_ok()) return s;
+        Struct out;
+        out["version"] =
+            Value(static_cast<std::int64_t>(store.get(user.value(), params[0].as_string())
+                                                .value()
+                                                .version));
+        return Value(std::move(out));
+      });
+
+  // session.load(key) -> {content, version, updated_at}
+  d.register_method(
+      "session.load",
+      [host_ptr, &store](const Array& params, const CallContext& ctx) -> Result<Value> {
+        auto user = host_ptr->user_of(ctx);
+        if (!user.is_ok()) return user.status();
+        if (params.size() != 1 || !params[0].is_string()) {
+          return invalid_argument_error("session.load(key)");
+        }
+        auto doc = store.get(user.value(), params[0].as_string());
+        if (!doc.is_ok()) return doc.status();
+        Struct out;
+        out["content"] = doc.value().content;
+        out["version"] = Value(static_cast<std::int64_t>(doc.value().version));
+        out["updated_at"] = Value(to_seconds(doc.value().updated_at));
+        return Value(std::move(out));
+      });
+
+  d.register_method(
+      "session.list",
+      [host_ptr, &store](const Array&, const CallContext& ctx) -> Result<Value> {
+        auto user = host_ptr->user_of(ctx);
+        if (!user.is_ok()) return user.status();
+        Array out;
+        for (const auto& key : store.list(user.value())) out.push_back(Value(key));
+        return Value(std::move(out));
+      });
+
+  d.register_method(
+      "session.delete",
+      [host_ptr, &store](const Array& params, const CallContext& ctx) -> Result<Value> {
+        auto user = host_ptr->user_of(ctx);
+        if (!user.is_ok()) return user.status();
+        if (params.size() != 1 || !params[0].is_string()) {
+          return invalid_argument_error("session.delete(key)");
+        }
+        const Status s = store.remove(user.value(), params[0].as_string());
+        if (!s.is_ok()) return s;
+        return Value(true);
+      });
+}
+
+}  // namespace gae::clarens

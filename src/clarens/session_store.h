@@ -1,0 +1,56 @@
+// Analysis-session state storage.
+//
+// The GAE services "store the state of users' analysis sessions" (§3) so a
+// physicist can disconnect and resume later from any client. This store
+// keeps versioned, per-user documents (arbitrary RPC values) and exposes
+// them as session.* web-service methods bound to the caller's identity.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "rpc/value.h"
+
+namespace gae::clarens {
+
+class ClarensHost;
+
+struct SessionDocument {
+  rpc::Value content;
+  int version = 0;
+  SimTime updated_at = 0;
+};
+
+class SessionStateStore {
+ public:
+  explicit SessionStateStore(const Clock& clock) : clock_(clock) {}
+
+  /// Creates or overwrites a document; each write bumps the version.
+  /// `expected_version` >= 0 enables optimistic concurrency: the write is
+  /// rejected (FAILED_PRECONDITION) when the stored version differs.
+  Status put(const std::string& user, const std::string& key, rpc::Value content,
+             int expected_version = -1);
+
+  Result<SessionDocument> get(const std::string& user, const std::string& key) const;
+
+  /// Keys this user has stored (sorted).
+  std::vector<std::string> list(const std::string& user) const;
+
+  Status remove(const std::string& user, const std::string& key);
+
+  std::size_t total_documents() const;
+
+ private:
+  const Clock& clock_;
+  std::map<std::string, std::map<std::string, SessionDocument>> docs_;  // user -> key -> doc
+};
+
+/// Registers session.save / load / list / delete on the host. Documents are
+/// namespaced by the authenticated caller, so users cannot read each other's
+/// sessions. The store must outlive the host.
+void register_session_methods(ClarensHost& host, SessionStateStore& store);
+
+}  // namespace gae::clarens

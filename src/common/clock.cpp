@@ -1,0 +1,26 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace gae {
+
+namespace {
+SimTime steady_now_us() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch()).count();
+}
+}  // namespace
+
+WallClock::WallClock() : epoch_(steady_now_us()) {}
+
+SimTime WallClock::now() const { return steady_now_us() - epoch_; }
+
+void ManualClock::advance_to(SimTime t) {
+  // Monotonic max: concurrent advancers can race, time only moves forward.
+  SimTime cur = now_.load(std::memory_order_relaxed);
+  while (t > cur && !now_.compare_exchange_weak(cur, t, std::memory_order_release)) {
+  }
+}
+
+}  // namespace gae

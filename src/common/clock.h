@@ -1,0 +1,47 @@
+// Clock abstraction: services take a Clock& so the same code runs against
+// wall time (live deployments, RPC benchmarks) and against the discrete-event
+// simulator's virtual time (grid experiments).
+#pragma once
+
+#include <atomic>
+
+#include "common/time_types.h"
+
+namespace gae {
+
+/// Source of "now". Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since this clock's epoch.
+  virtual SimTime now() const = 0;
+};
+
+/// Real time, anchored at construction so tests see small positive values.
+class WallClock final : public Clock {
+ public:
+  WallClock();
+  SimTime now() const override;
+
+ private:
+  SimTime epoch_;
+};
+
+/// A manually advanced clock. The simulator owns one and advances it as
+/// events fire; tests use it to script time directly.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(SimTime start = 0) : now_(start) {}
+
+  SimTime now() const override { return now_.load(std::memory_order_acquire); }
+
+  /// Moves time forward (or jumps to an absolute instant). Never goes back.
+  void advance_to(SimTime t);
+  void advance_by(SimDuration d) { advance_to(now() + d); }
+
+ private:
+  std::atomic<SimTime> now_;
+};
+
+}  // namespace gae

@@ -1,0 +1,100 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace gae {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  auto b = std::find_if_not(s.begin(), s.end(), is_space);
+  auto e = std::find_if_not(s.rbegin(), s.rend(), is_space).base();
+  return b < e ? std::string(b, e) : std::string();
+}
+
+}  // namespace
+
+Result<Config> Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#' || t[0] == ';') continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') {
+        return invalid_argument_error("config line " + std::to_string(lineno) +
+                                      ": unterminated section header");
+      }
+      section = trim(t.substr(1, t.size() - 2));
+      continue;
+    }
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      return invalid_argument_error("config line " + std::to_string(lineno) +
+                                    ": expected key=value");
+    }
+    std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) {
+      return invalid_argument_error("config line " + std::to_string(lineno) +
+                                    ": empty key");
+    }
+    if (!section.empty()) key = section + "." + key;
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Result<Config> Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return not_found_error("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace gae

@@ -1,0 +1,39 @@
+// Minimal key=value configuration, INI-ish ("# comment", "key = value",
+// optional "[section]" prefixes flattened to "section.key"). Used by the
+// examples so scenarios can be tweaked without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace gae {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses config text; returns INVALID_ARGUMENT on malformed lines.
+  static Result<Config> parse(const std::string& text);
+
+  /// Reads and parses a file; NOT_FOUND when the file cannot be opened.
+  static Result<Config> load_file(const std::string& path);
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get_string(const std::string& key, const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback = 0) const;
+  double get_double(const std::string& key, double fallback = 0.0) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gae

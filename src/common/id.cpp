@@ -1,0 +1,36 @@
+#include "common/id.h"
+
+#include <atomic>
+#include <chrono>
+#include <random>
+
+namespace gae {
+
+std::uint64_t next_sequence() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::string make_id(const std::string& prefix) {
+  return prefix + "-" + std::to_string(next_sequence());
+}
+
+std::string make_token() {
+  static std::atomic<std::uint64_t> salt{0};
+  const auto t = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  std::mt19937_64 eng(t ^ (salt.fetch_add(1) * 0x9E3779B97F4A7C15ULL));
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (int word = 0; word < 2; ++word) {
+    std::uint64_t v = eng();
+    for (int i = 0; i < 16; ++i) {
+      out.push_back(hex[v & 0xF]);
+      v >>= 4;
+    }
+  }
+  return out;
+}
+
+}  // namespace gae

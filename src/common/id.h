@@ -1,0 +1,20 @@
+// Identifier types shared across the services. Jobs, tasks, sites, sessions
+// and users are all addressed by strings on the wire (the services are
+// language-neutral web services), with monotonic generators for uniqueness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gae {
+
+/// Globally ordered unique suffix (process-wide, thread-safe).
+std::uint64_t next_sequence();
+
+/// "job-1", "task-42", "sess-7" ... prefix + process-unique sequence.
+std::string make_id(const std::string& prefix);
+
+/// Random-looking 32-hex-char token for session keys.
+std::string make_token();
+
+}  // namespace gae

@@ -1,0 +1,54 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace gae {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // empty => stderr
+
+void stderr_sink(LogLevel level, const std::string& message) {
+  // One fprintf call so concurrent records do not interleave mid-line.
+  std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_write(LogLevel level, const std::string& message) {
+  if (!log_enabled(level)) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    stderr_sink(level, message);
+  }
+}
+
+}  // namespace gae

@@ -1,0 +1,66 @@
+// Thread-safe leveled logging.
+//
+// GAE_LOG(info) << "job " << id << " moved to " << site;
+//
+// The default sink writes to stderr; tests can install a capturing sink.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace gae {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+const char* log_level_name(LogLevel level);
+
+/// Receives every formatted log record. Must be callable from any thread.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Minimum level that is emitted. Default kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replaces the global sink; pass nullptr to restore the stderr sink.
+void set_log_sink(LogSink sink);
+
+/// True when `level` would be emitted (used by the macro to skip formatting).
+bool log_enabled(LogLevel level);
+
+void log_write(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Accumulates one log statement and flushes on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_write(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gae
+
+#define GAE_LOG(severity)                                   \
+  if (!::gae::log_enabled(::gae::LogLevel::k##severity)) {  \
+  } else                                                    \
+    ::gae::internal::LogMessage(::gae::LogLevel::k##severity)
+
+#define GAE_LOG_DEBUG GAE_LOG(Debug)
+#define GAE_LOG_INFO GAE_LOG(Info)
+#define GAE_LOG_WARN GAE_LOG(Warn)
+#define GAE_LOG_ERROR GAE_LOG(Error)

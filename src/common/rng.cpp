@@ -1,0 +1,71 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gae {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(std::clamp(p, 0.0, 1.0));
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("exponential mean must be > 0");
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  if (xm <= 0 || alpha <= 0) throw std::invalid_argument("pareto params must be > 0");
+  const double u = uniform(0.0, 1.0);
+  return xm / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("weighted_index: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0) throw std::invalid_argument("weighted_index: weights sum to zero");
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last bucket
+}
+
+Rng Rng::fork(const std::string& label) const {
+  // FNV-1a over the label, mixed with fresh draws from a copy of the engine,
+  // keeps children independent yet reproducible.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  std::mt19937_64 copy = engine_;
+  return Rng(h ^ copy());
+}
+
+}  // namespace gae

@@ -1,0 +1,61 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Every generator is seeded explicitly; experiments record their seeds so
+// figures are reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace gae {
+
+/// Seeded PRNG with the distribution helpers the workload generators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Lognormal parameterised by the *underlying* normal's mu / sigma.
+  /// Job runtimes in accounting traces are famously heavy-tailed; lognormal
+  /// is the standard model (Downey '97).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean);
+
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy tail).
+  double pareto(double xm, double alpha);
+
+  /// Index in [0, weights.size()) drawn proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Derives an independent child generator (stable given the same label).
+  Rng fork(const std::string& label) const;
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_mix_ = 0;
+};
+
+}  // namespace gae

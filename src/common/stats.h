@@ -1,0 +1,66 @@
+// Small statistics toolkit used by the estimators and the benchmarks:
+// streaming mean/variance, simple linear regression, and percentiles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gae {
+
+/// Welford streaming mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ordinary least squares fit y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1]; 0 when undefined.
+  double r_squared = 0.0;
+  /// False when fewer than two distinct x values were seen.
+  bool valid = false;
+
+  double predict(double x) const { return intercept + slope * x; }
+};
+
+/// Streaming simple linear regression.
+class LinearRegression {
+ public:
+  void add(double x, double y);
+  std::size_t count() const { return n_; }
+  LinearFit fit() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sx_ = 0, sy_ = 0, sxx_ = 0, sxy_ = 0, syy_ = 0;
+};
+
+/// Percentile with linear interpolation; `p` in [0,100]. Sorts a copy.
+double percentile(std::vector<double> values, double p);
+
+/// Mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& values);
+
+}  // namespace gae

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace gae {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kUnauthenticated: return "UNAUTHENTICATED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status not_found_error(std::string msg) { return {StatusCode::kNotFound, std::move(msg)}; }
+Status already_exists_error(std::string msg) { return {StatusCode::kAlreadyExists, std::move(msg)}; }
+Status invalid_argument_error(std::string msg) { return {StatusCode::kInvalidArgument, std::move(msg)}; }
+Status permission_denied_error(std::string msg) { return {StatusCode::kPermissionDenied, std::move(msg)}; }
+Status unauthenticated_error(std::string msg) { return {StatusCode::kUnauthenticated, std::move(msg)}; }
+Status failed_precondition_error(std::string msg) { return {StatusCode::kFailedPrecondition, std::move(msg)}; }
+Status unavailable_error(std::string msg) { return {StatusCode::kUnavailable, std::move(msg)}; }
+Status deadline_exceeded_error(std::string msg) { return {StatusCode::kDeadlineExceeded, std::move(msg)}; }
+Status resource_exhausted_error(std::string msg) { return {StatusCode::kResourceExhausted, std::move(msg)}; }
+Status internal_error(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
+
+}  // namespace gae

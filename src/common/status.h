@@ -1,0 +1,96 @@
+// Error handling for the service APIs.
+//
+// Services report recoverable failures (unknown job, unauthorized session,
+// unreachable site) through Status / Result<T> return values; exceptions are
+// reserved for programming errors and transport-level faults.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gae {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kPermissionDenied,
+  kUnauthenticated,
+  kFailedPrecondition,
+  kUnavailable,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("NOT_FOUND" etc.).
+const char* status_code_name(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "NOT_FOUND: no such job".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+Status not_found_error(std::string msg);
+Status already_exists_error(std::string msg);
+Status invalid_argument_error(std::string msg);
+Status permission_denied_error(std::string msg);
+Status unauthenticated_error(std::string msg);
+Status failed_precondition_error(std::string msg);
+Status unavailable_error(std::string msg);
+Status deadline_exceeded_error(std::string msg);
+Status resource_exhausted_error(std::string msg);
+Status internal_error(std::string msg);
+
+/// A value or an error. `Result<T> r = ...; if (r.is_ok()) use(r.value());`
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}    // NOLINT(google-explicit-constructor)
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // kOk when value_ engaged
+};
+
+}  // namespace gae

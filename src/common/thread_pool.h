@@ -1,0 +1,50 @@
+// Fixed-size worker pool used by the RPC server to execute handlers off the
+// accept loop. Tasks are opaque callables; shutdown drains or abandons the
+// queue depending on the stop mode.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gae {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false after shutdown began.
+  bool submit(std::function<void()> task);
+
+  /// Stops accepting work. With drain=true outstanding tasks finish first;
+  /// with drain=false queued-but-unstarted tasks are dropped.
+  void shutdown(bool drain = true);
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Tasks waiting in the queue right now (diagnostics only).
+  std::size_t queued() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+  bool drain_ = true;
+};
+
+}  // namespace gae

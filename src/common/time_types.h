@@ -1,0 +1,31 @@
+// Time representation shared by the simulator and the live services.
+//
+// All simulated time is kept in integral microseconds (SimTime) so that
+// discrete-event runs are bit-for-bit deterministic across platforms; double
+// seconds are only used at API edges where humans read them.
+#pragma once
+
+#include <cstdint>
+
+namespace gae {
+
+/// Simulated (or wall) time in microseconds since an arbitrary epoch.
+using SimTime = std::int64_t;
+
+/// A span of time in microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeNever = -1;
+
+/// Converts whole/fractional seconds to microseconds, rounding to nearest.
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts microseconds to fractional seconds.
+constexpr double to_seconds(SimDuration t) { return static_cast<double>(t) / 1e6; }
+
+constexpr SimDuration from_millis(double ms) { return from_seconds(ms / 1e3); }
+constexpr double to_millis(SimDuration t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace gae

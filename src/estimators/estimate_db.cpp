@@ -1,0 +1,15 @@
+#include "estimators/estimate_db.h"
+
+namespace gae::estimators {
+
+void EstimateDatabase::put(const std::string& task_id, double estimated_runtime_seconds) {
+  estimates_[task_id] = estimated_runtime_seconds;
+}
+
+Result<double> EstimateDatabase::get(const std::string& task_id) const {
+  auto it = estimates_.find(task_id);
+  if (it == estimates_.end()) return not_found_error("no estimate for task " + task_id);
+  return it->second;
+}
+
+}  // namespace gae::estimators

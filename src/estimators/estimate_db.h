@@ -1,0 +1,29 @@
+// The "separate database" of §6.2: runtime estimates recorded at submission
+// time, consulted later by the queue-time estimator to compute the remaining
+// runtime of queued/running tasks.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace gae::estimators {
+
+class EstimateDatabase {
+ public:
+  /// Stores (or overwrites) the submit-time runtime estimate for a task.
+  void put(const std::string& task_id, double estimated_runtime_seconds);
+
+  /// NOT_FOUND when no estimate was recorded for the task.
+  Result<double> get(const std::string& task_id) const;
+
+  bool has(const std::string& task_id) const { return estimates_.count(task_id) != 0; }
+  void erase(const std::string& task_id) { estimates_.erase(task_id); }
+  std::size_t size() const { return estimates_.size(); }
+
+ private:
+  std::map<std::string, double> estimates_;
+};
+
+}  // namespace gae::estimators

@@ -1,0 +1,87 @@
+#include "estimators/history.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace gae::estimators {
+
+void TaskHistoryStore::add(HistoryEntry entry) {
+  entries_.push_back(std::move(entry));
+  if (max_entries_ > 0 && entries_.size() > max_entries_) {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(entries_.size() - max_entries_));
+  }
+}
+
+namespace {
+constexpr const char* kHistoryHeader = "runtime_seconds,recorded_at_s,successful,attributes";
+}  // namespace
+
+Status save_history(const TaskHistoryStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return unavailable_error("cannot write history file: " + path);
+  out << kHistoryHeader << '\n';
+  out.precision(15);
+  for (const auto& e : store.entries()) {
+    out << e.runtime_seconds << ',' << to_seconds(e.recorded_at) << ','
+        << (e.successful ? 1 : 0) << ',';
+    bool first = true;
+    for (const auto& [k, v] : e.attributes) {
+      if (!first) out << ';';
+      first = false;
+      out << k << '=' << v;
+    }
+    out << '\n';
+  }
+  return out ? Status::ok() : unavailable_error("write failed: " + path);
+}
+
+Result<TaskHistoryStore> load_history(const std::string& path, std::size_t max_entries) {
+  std::ifstream in(path);
+  if (!in) return not_found_error("cannot open history file: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return invalid_argument_error("empty history file");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kHistoryHeader) {
+    return invalid_argument_error("unexpected history header: " + line);
+  }
+  TaskHistoryStore store(max_entries);
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    // Three numeric fields, then the attribute blob (may itself be empty).
+    std::istringstream fields(line);
+    std::string runtime_s, recorded_s, success_s, attrs_s;
+    if (!std::getline(fields, runtime_s, ',') || !std::getline(fields, recorded_s, ',') ||
+        !std::getline(fields, success_s, ',')) {
+      return invalid_argument_error("history line " + std::to_string(lineno) +
+                                    ": too few fields");
+    }
+    std::getline(fields, attrs_s);
+    HistoryEntry entry;
+    try {
+      entry.runtime_seconds = std::stod(runtime_s);
+      entry.recorded_at = from_seconds(std::stod(recorded_s));
+    } catch (...) {
+      return invalid_argument_error("history line " + std::to_string(lineno) +
+                                    ": bad number");
+    }
+    entry.successful = success_s == "1";
+    std::istringstream attrs(attrs_s);
+    std::string pair;
+    while (std::getline(attrs, pair, ';')) {
+      const auto eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return invalid_argument_error("history line " + std::to_string(lineno) +
+                                      ": malformed attribute '" + pair + "'");
+      }
+      entry.attributes[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    store.add(std::move(entry));
+  }
+  return store;
+}
+
+}  // namespace gae::estimators

@@ -1,0 +1,54 @@
+// Task execution history: the raw material for history-based runtime
+// prediction (paper §6.1). Maintenance is decentralised in the paper — each
+// execution site keeps its own history — so the store is a plain value type
+// a site service owns.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_types.h"
+
+namespace gae::estimators {
+
+/// One completed task observation.
+struct HistoryEntry {
+  /// Categorical attributes (login, executable, queue, partition, nodes...).
+  std::map<std::string, std::string> attributes;
+  /// Observed runtime in seconds (reference-CPU).
+  double runtime_seconds = 0.0;
+  SimTime recorded_at = 0;
+  bool successful = true;
+};
+
+class TaskHistoryStore {
+ public:
+  /// `max_entries` bounds memory; the oldest entries fall off. 0 = unbounded.
+  explicit TaskHistoryStore(std::size_t max_entries = 0) : max_entries_(max_entries) {}
+
+  void add(HistoryEntry entry);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<HistoryEntry>& entries() const { return entries_; }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t max_entries_;
+  std::vector<HistoryEntry> entries_;  // oldest first
+};
+
+/// Persists a history store as CSV (attributes flattened as k=v;k=v). The
+/// decentralised site histories survive service restarts this way.
+Status save_history(const TaskHistoryStore& store, const std::string& path);
+
+/// Loads a history CSV written by save_history. INVALID_ARGUMENT on
+/// malformed content, NOT_FOUND when the file is missing.
+Result<TaskHistoryStore> load_history(const std::string& path,
+                                      std::size_t max_entries = 0);
+
+}  // namespace gae::estimators

@@ -1,0 +1,25 @@
+#include "estimators/recorder.h"
+
+namespace gae::estimators {
+
+SiteRuntimeRecorder::SiteRuntimeRecorder(exec::ExecutionService& service,
+                                         std::shared_ptr<RuntimeEstimator> estimator)
+    : service_(service), estimator_(std::move(estimator)) {
+  token_ = service_.subscribe([this](const exec::TaskEvent& ev) {
+    if (ev.new_state != exec::TaskState::kCompleted &&
+        ev.new_state != exec::TaskState::kFailed) {
+      return;
+    }
+    auto info = service_.query(ev.task_id);
+    if (!info.is_ok()) return;
+    // Killed-by-user tasks carry no runtime signal; failures are recorded as
+    // unsuccessful so the estimator can exclude them from "similar" sets.
+    estimator_->record(info.value().spec.attributes, info.value().cpu_seconds_used,
+                       ev.time, ev.new_state == exec::TaskState::kCompleted);
+    ++recorded_;
+  });
+}
+
+SiteRuntimeRecorder::~SiteRuntimeRecorder() { service_.unsubscribe(token_); }
+
+}  // namespace gae::estimators

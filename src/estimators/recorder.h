@@ -1,0 +1,33 @@
+// Decentralised history maintenance: each execution site records its
+// completed tasks into its local runtime estimator (paper §6.1 — "a
+// decentralized approach is used for maintenance").
+#pragma once
+
+#include <memory>
+
+#include "estimators/runtime_estimator.h"
+#include "exec/execution_service.h"
+
+namespace gae::estimators {
+
+/// Subscribes to an execution service and appends every terminal task's
+/// observed runtime (reference-CPU seconds) to the site's history.
+class SiteRuntimeRecorder {
+ public:
+  SiteRuntimeRecorder(exec::ExecutionService& service,
+                      std::shared_ptr<RuntimeEstimator> estimator);
+  ~SiteRuntimeRecorder();
+
+  SiteRuntimeRecorder(const SiteRuntimeRecorder&) = delete;
+  SiteRuntimeRecorder& operator=(const SiteRuntimeRecorder&) = delete;
+
+  std::size_t recorded() const { return recorded_; }
+
+ private:
+  exec::ExecutionService& service_;
+  std::shared_ptr<RuntimeEstimator> estimator_;
+  int token_;
+  std::size_t recorded_ = 0;
+};
+
+}  // namespace gae::estimators

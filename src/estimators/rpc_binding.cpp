@@ -1,0 +1,81 @@
+#include "estimators/rpc_binding.h"
+
+namespace gae::estimators {
+
+using rpc::Array;
+using rpc::CallContext;
+using rpc::Struct;
+using rpc::Value;
+
+void register_estimator_methods(clarens::ClarensHost& host, EstimatorService& service) {
+  auto& d = host.dispatcher();
+
+  // estimator.runtime(site, {attr: value, ...}) -> {seconds, samples, ...}
+  d.register_method(
+      "estimator.runtime",
+      [&service](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 2 || !params[0].is_string() || !params[1].is_struct()) {
+          return invalid_argument_error("estimator.runtime(site, attributes)");
+        }
+        std::map<std::string, std::string> attributes;
+        for (const auto& [key, value] : params[1].as_struct()) {
+          attributes[key] = value.is_string() ? value.as_string() : value.debug_string();
+        }
+        auto est = service.runtime(params[0].as_string(), attributes);
+        if (!est.is_ok()) return est.status();
+        Struct out;
+        out["seconds"] = Value(est.value().seconds);
+        out["samples"] = Value(static_cast<std::int64_t>(est.value().samples));
+        out["template"] = Value(est.value().template_name);
+        out["estimator"] = Value(std::string(estimator_kind_name(est.value().used)));
+        out["stddev"] = Value(est.value().stddev);
+        return Value(std::move(out));
+      });
+
+  // estimator.queueTime(site, task_id) -> {seconds, tasks_ahead}
+  d.register_method(
+      "estimator.queueTime",
+      [&service](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 2 || !params[0].is_string() || !params[1].is_string()) {
+          return invalid_argument_error("estimator.queueTime(site, task_id)");
+        }
+        auto est = service.queue_time(params[0].as_string(), params[1].as_string());
+        if (!est.is_ok()) return est.status();
+        Struct out;
+        out["seconds"] = Value(est.value().seconds);
+        out["tasks_ahead"] = Value(static_cast<std::int64_t>(est.value().tasks_ahead));
+        return Value(std::move(out));
+      });
+
+  // estimator.transferTime(src, dst, bytes[, now_seconds]) -> {seconds, bandwidth}
+  d.register_method(
+      "estimator.transferTime",
+      [&service](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() < 3 || !params[0].is_string() || !params[1].is_string() ||
+            !params[2].is_number()) {
+          return invalid_argument_error("estimator.transferTime(src, dst, bytes[, now])");
+        }
+        const SimTime now =
+            params.size() > 3 ? from_seconds(params[3].as_double()) : SimTime{0};
+        auto est = service.transfer_time(params[0].as_string(), params[1].as_string(),
+                                         static_cast<std::uint64_t>(params[2].as_double()),
+                                         now);
+        if (!est.is_ok()) return est.status();
+        Struct out;
+        out["seconds"] = Value(est.value().seconds);
+        out["bandwidth_bytes_per_sec"] = Value(est.value().bandwidth_bytes_per_sec);
+        return Value(std::move(out));
+      });
+
+  d.register_method("estimator.sites",
+                    [&service](const Array&, const CallContext&) -> Result<Value> {
+                      Array out;
+                      for (const auto& site : service.sites()) out.push_back(Value(site));
+                      return Value(std::move(out));
+                    });
+
+  host.registry().register_service(
+      {"estimator@" + host.name(), host.name(), host.port(), "xmlrpc", {}, 0});
+}
+
+}  // namespace gae::estimators

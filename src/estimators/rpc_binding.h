@@ -1,0 +1,15 @@
+// Web-service face of the Estimator Service: registers "estimator.*"
+// methods on a Clarens host, so clients and remote schedulers can request
+// the §6 estimates over XML-RPC/JSON-RPC.
+#pragma once
+
+#include "clarens/host.h"
+#include "estimators/service.h"
+
+namespace gae::estimators {
+
+/// Registers estimator.runtime / queueTime / transferTime / sites on the
+/// host. The service must outlive the host.
+void register_estimator_methods(clarens::ClarensHost& host, EstimatorService& service);
+
+}  // namespace gae::estimators

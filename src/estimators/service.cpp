@@ -1,0 +1,56 @@
+#include "estimators/service.h"
+
+namespace gae::estimators {
+
+EstimatorService::EstimatorService(std::shared_ptr<EstimateDatabase> estimate_db,
+                                   std::unique_ptr<FileTransferEstimator> transfer,
+                                   QueueTimeOptions queue_options)
+    : estimate_db_(std::move(estimate_db)),
+      transfer_(std::move(transfer)),
+      queue_options_(queue_options) {
+  if (!estimate_db_) estimate_db_ = std::make_shared<EstimateDatabase>();
+}
+
+void EstimatorService::add_site(const std::string& site,
+                                std::shared_ptr<RuntimeEstimator> runtime,
+                                exec::ExecutionService* exec) {
+  SiteEntry entry;
+  entry.runtime = std::move(runtime);
+  entry.exec = exec;
+  if (exec) {
+    entry.queue = std::make_unique<QueueTimeEstimator>(*exec, estimate_db_, queue_options_);
+  }
+  sites_[site] = std::move(entry);
+}
+
+std::vector<std::string> EstimatorService::sites() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, _] : sites_) out.push_back(site);
+  return out;
+}
+
+Result<RuntimeEstimate> EstimatorService::runtime(
+    const std::string& site, const std::map<std::string, std::string>& attributes) const {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return not_found_error("no estimator at site " + site);
+  if (!it->second.runtime) return failed_precondition_error("site has no runtime estimator");
+  return it->second.runtime->estimate(attributes);
+}
+
+Result<QueueTimeEstimate> EstimatorService::queue_time(const std::string& site,
+                                                       const std::string& task_id) const {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return not_found_error("no estimator at site " + site);
+  if (!it->second.queue) return failed_precondition_error("site has no queue estimator");
+  return it->second.queue->estimate(task_id);
+}
+
+Result<TransferEstimate> EstimatorService::transfer_time(const std::string& src,
+                                                         const std::string& dst,
+                                                         std::uint64_t bytes, SimTime now) {
+  if (!transfer_) return failed_precondition_error("no transfer estimator configured");
+  return transfer_->estimate(src, dst, bytes, now);
+}
+
+}  // namespace gae::estimators

@@ -1,0 +1,60 @@
+// The Estimator Service facade: bundles the three §6 estimators for one
+// grid deployment so they can be consulted as a unit — in-process by the
+// scheduler/steering, or remotely through the estimator.* RPC methods
+// (rpc_binding.h). "The estimator service can be used to provide estimates
+// of the resources required by a job ... It also provides information to
+// the scheduler for scheduling decisions."
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "estimators/queue_time_estimator.h"
+#include "estimators/runtime_estimator.h"
+#include "estimators/transfer_estimator.h"
+#include "exec/execution_service.h"
+
+namespace gae::estimators {
+
+class EstimatorService {
+ public:
+  EstimatorService(std::shared_ptr<EstimateDatabase> estimate_db,
+                   std::unique_ptr<FileTransferEstimator> transfer,
+                   QueueTimeOptions queue_options = {});
+
+  /// Registers one site's runtime estimator and execution service.
+  void add_site(const std::string& site, std::shared_ptr<RuntimeEstimator> runtime,
+                exec::ExecutionService* exec);
+
+  std::vector<std::string> sites() const;
+
+  /// §6.1: runtime prediction at one site for a task with these attributes.
+  Result<RuntimeEstimate> runtime(const std::string& site,
+                                  const std::map<std::string, std::string>& attributes) const;
+
+  /// §6.2: queue wait for a submitted task at the site currently holding it.
+  Result<QueueTimeEstimate> queue_time(const std::string& site,
+                                       const std::string& task_id) const;
+
+  /// §6.3: transfer time between two sites.
+  Result<TransferEstimate> transfer_time(const std::string& src, const std::string& dst,
+                                         std::uint64_t bytes, SimTime now);
+
+  const EstimateDatabase& estimate_db() const { return *estimate_db_; }
+
+ private:
+  struct SiteEntry {
+    std::shared_ptr<RuntimeEstimator> runtime;
+    exec::ExecutionService* exec = nullptr;
+    std::unique_ptr<QueueTimeEstimator> queue;
+  };
+
+  std::shared_ptr<EstimateDatabase> estimate_db_;
+  std::unique_ptr<FileTransferEstimator> transfer_;
+  QueueTimeOptions queue_options_;
+  std::map<std::string, SiteEntry> sites_;
+};
+
+}  // namespace gae::estimators

@@ -1,0 +1,76 @@
+#include "estimators/similarity.h"
+
+namespace gae::estimators {
+
+std::string SimilarityTemplate::name() const {
+  if (keys.empty()) return "(any)";
+  std::string out;
+  for (const auto& k : keys) {
+    if (!out.empty()) out += "+";
+    out += k;
+  }
+  return out;
+}
+
+bool SimilarityTemplate::matches(const std::map<std::string, std::string>& a,
+                                 const std::map<std::string, std::string>& b) const {
+  for (const auto& key : keys) {
+    auto ia = a.find(key);
+    auto ib = b.find(key);
+    // A task missing one of the template's attributes cannot be matched by
+    // that template.
+    if (ia == a.end() || ib == b.end() || ia->second != ib->second) return false;
+  }
+  return true;
+}
+
+std::vector<SimilarityTemplate> default_templates() {
+  // Node count stays in the hierarchy as long as possible: runtimes of the
+  // same application scale strongly with the nodes it ran on, so mixing node
+  // counts degrades an otherwise good match set.
+  return {
+      {{"executable", "login", "queue", "nodes"}},
+      {{"executable", "login", "nodes"}},
+      {{"executable", "nodes"}},
+      {{"executable", "login", "queue"}},
+      {{"executable", "login"}},
+      {{"executable"}},
+      {{"login", "queue"}},
+      {{"login"}},
+      {{"queue"}},
+      {{}},
+  };
+}
+
+SimilarityMatcher::SimilarityMatcher(std::vector<SimilarityTemplate> templates)
+    : templates_(std::move(templates)) {
+  if (templates_.empty()) templates_.push_back(SimilarityTemplate{});
+}
+
+SimilarityMatcher::Match SimilarityMatcher::find_similar(
+    const TaskHistoryStore& history, const std::map<std::string, std::string>& attributes,
+    std::size_t min_matches) const {
+  if (min_matches == 0) min_matches = 1;
+  Match best;
+  for (const auto& tmpl : templates_) {
+    std::vector<const HistoryEntry*> matched;
+    for (const auto& entry : history.entries()) {
+      if (entry.successful && tmpl.matches(attributes, entry.attributes)) {
+        matched.push_back(&entry);
+      }
+    }
+    if (matched.size() >= min_matches) {
+      best.entries = std::move(matched);
+      best.template_name = tmpl.name();
+      return best;
+    }
+    // Remember the best-effort candidate in case nothing reaches min_matches.
+    if (matched.size() > best.entries.size()) {
+      best.entries = std::move(matched);
+      best.template_name = tmpl.name();
+    }
+  }
+  return best;
+}
+
+}  // namespace gae::estimators

@@ -1,0 +1,53 @@
+// Similarity templates for history-based prediction.
+//
+// A template names the attributes two tasks must share to count as
+// "similar" (Smith/Taylor/Foster-style greedy template search): templates
+// are tried most-specific first, and the first one yielding enough matches
+// defines the similar set.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "estimators/history.h"
+
+namespace gae::estimators {
+
+/// One definition of "similar": these attribute keys must match exactly.
+struct SimilarityTemplate {
+  std::vector<std::string> keys;
+
+  std::string name() const;  // "executable+login+queue" etc.; "(any)" if empty
+
+  bool matches(const std::map<std::string, std::string>& a,
+               const std::map<std::string, std::string>& b) const;
+};
+
+/// The default hierarchy, most specific first. The last, empty template
+/// matches everything, so a non-empty history always yields an estimate.
+std::vector<SimilarityTemplate> default_templates();
+
+class SimilarityMatcher {
+ public:
+  explicit SimilarityMatcher(std::vector<SimilarityTemplate> templates = default_templates());
+
+  struct Match {
+    std::vector<const HistoryEntry*> entries;
+    std::string template_name;
+  };
+
+  /// Entries similar to `attributes` under the most specific template that
+  /// produces at least `min_matches` successful entries. Falls back towards
+  /// less specific templates; returns an empty match only for empty history.
+  Match find_similar(const TaskHistoryStore& history,
+                     const std::map<std::string, std::string>& attributes,
+                     std::size_t min_matches) const;
+
+  const std::vector<SimilarityTemplate>& templates() const { return templates_; }
+
+ private:
+  std::vector<SimilarityTemplate> templates_;
+};
+
+}  // namespace gae::estimators

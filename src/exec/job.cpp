@@ -1,0 +1,22 @@
+#include "exec/job.h"
+
+namespace gae::exec {
+
+const char* task_state_name(TaskState s) {
+  switch (s) {
+    case TaskState::kQueued: return "QUEUED";
+    case TaskState::kStaging: return "STAGING";
+    case TaskState::kRunning: return "RUNNING";
+    case TaskState::kSuspended: return "SUSPENDED";
+    case TaskState::kCompleted: return "COMPLETED";
+    case TaskState::kFailed: return "FAILED";
+    case TaskState::kKilled: return "KILLED";
+  }
+  return "?";
+}
+
+bool is_terminal(TaskState s) {
+  return s == TaskState::kCompleted || s == TaskState::kFailed || s == TaskState::kKilled;
+}
+
+}  // namespace gae::exec

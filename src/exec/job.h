@@ -1,0 +1,104 @@
+// Task and job model shared by the execution service, scheduler, monitoring
+// and steering layers.
+//
+// Terminology follows the paper: a *job* is what the user submits (a DAG of
+// processing steps); a *task* is the atomic unit placed on one execution
+// site. The execution service deals in tasks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace gae::exec {
+
+/// Lifecycle of a task inside an execution service.
+enum class TaskState {
+  kQueued,      // waiting for a free node
+  kStaging,     // node assigned, input files transferring
+  kRunning,     // accruing CPU time
+  kSuspended,   // paused by user/steering; node released
+  kCompleted,   // all work done
+  kFailed,      // task or node error
+  kKilled,      // removed by user/steering
+};
+
+const char* task_state_name(TaskState s);
+bool is_terminal(TaskState s);
+
+/// Immutable description of a task, as it appears in a job description file.
+struct TaskSpec {
+  std::string id;
+  std::string job_id;
+  std::string owner;
+  std::string executable;
+
+  /// Ground-truth CPU seconds needed on a speed-1.0 node. Hidden from the
+  /// estimators, which must predict it from history.
+  double work_seconds = 0.0;
+
+  /// Higher priority runs first; FIFO within a priority level.
+  int priority = 0;
+
+  /// Logical file names resolved against the grid's storage elements.
+  std::vector<std::string> input_files;
+
+  /// Bytes written to the site storage element on completion.
+  std::uint64_t output_bytes = 0;
+
+  /// Checkpointable tasks resume from saved progress after a move.
+  bool checkpointable = false;
+
+  std::map<std::string, std::string> environment;
+
+  /// Free-form attributes the runtime estimator may use for similarity
+  /// matching (e.g. "nodes", "queue", "jobtype").
+  std::map<std::string, std::string> attributes;
+};
+
+/// Point-in-time view of a task, the raw material for the Job Monitoring
+/// Service (paper §5: status, elapsed/CPU time, queue position, priority,
+/// submission/execution/completion times, IO, owner, environment).
+struct TaskInfo {
+  TaskSpec spec;
+  TaskState state = TaskState::kQueued;
+
+  SimTime submit_time = kSimTimeNever;
+  SimTime start_time = kSimTimeNever;       // first entered kStaging/kRunning
+  SimTime completion_time = kSimTimeNever;  // entered a terminal state
+
+  /// Condor-style "wall-clock time accumulated while actually running", i.e.
+  /// reference-CPU seconds of work completed. Excludes queue and stage time.
+  double cpu_seconds_used = 0.0;
+
+  /// Fraction of the task's work completed, in [0,1].
+  double progress = 0.0;
+
+  /// 0-based position among queued tasks (-1 when not queued).
+  int queue_position = -1;
+
+  /// Node currently (or last) hosting the task; "" if never placed.
+  std::string node;
+
+  std::uint64_t input_bytes_transferred = 0;
+  std::uint64_t output_bytes_written = 0;
+
+  /// Human-readable reason for kFailed/kKilled.
+  std::string detail;
+};
+
+/// State-transition notification emitted by the execution service.
+struct TaskEvent {
+  std::string task_id;
+  std::string job_id;
+  std::string site;
+  TaskState old_state;
+  TaskState new_state;
+  SimTime time;
+  std::string detail;
+};
+
+}  // namespace gae::exec

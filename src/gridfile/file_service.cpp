@@ -1,0 +1,95 @@
+#include "gridfile/file_service.h"
+
+#include <algorithm>
+
+namespace gae::gridfile {
+
+using rpc::Array;
+using rpc::CallContext;
+using rpc::Struct;
+using rpc::Value;
+
+std::string synthesize_content(const std::string& name, std::uint64_t offset,
+                               std::size_t length) {
+  // FNV-1a of the name seeds a per-file stream; each byte mixes the offset
+  // so arbitrary chunk boundaries produce identical bytes.
+  std::uint64_t seed = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    seed ^= c;
+    seed *= 1099511628211ULL;
+  }
+  std::string out;
+  out.resize(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    std::uint64_t x = seed ^ (offset + i);
+    x *= 0x9E3779B97F4A7C15ULL;
+    x ^= x >> 29;
+    // Printable range keeps the wire format friendly to XML.
+    out[i] = static_cast<char>('a' + (x % 26));
+  }
+  return out;
+}
+
+void register_file_methods(clarens::ClarensHost& host, sim::Grid& grid,
+                           const std::string& site) {
+  auto& d = host.dispatcher();
+  sim::Grid* grid_ptr = &grid;
+
+  d.register_method(
+      "file.list", [grid_ptr, site](const Array& params, const CallContext&) -> Result<Value> {
+        const std::string prefix =
+            params.empty() ? "" : (params[0].is_string() ? params[0].as_string() : "");
+        Array out;
+        for (const auto& [name, bytes] : grid_ptr->site(site).files()) {
+          if (name.rfind(prefix, 0) != 0) continue;
+          Struct s;
+          s["name"] = Value(name);
+          s["bytes"] = Value(static_cast<std::int64_t>(bytes));
+          out.emplace_back(std::move(s));
+        }
+        return Value(std::move(out));
+      });
+
+  d.register_method(
+      "file.stat", [grid_ptr, site](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 1 || !params[0].is_string()) {
+          return invalid_argument_error("file.stat(name)");
+        }
+        auto size = grid_ptr->site(site).file_size(params[0].as_string());
+        if (!size.is_ok()) return size.status();
+        Struct s;
+        s["name"] = params[0];
+        s["bytes"] = Value(static_cast<std::int64_t>(size.value()));
+        return Value(std::move(s));
+      });
+
+  d.register_method(
+      "file.read", [grid_ptr, site](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 3 || !params[0].is_string() || !params[1].is_number() ||
+            !params[2].is_number()) {
+          return invalid_argument_error("file.read(name, offset, length)");
+        }
+        const std::string& name = params[0].as_string();
+        auto size = grid_ptr->site(site).file_size(name);
+        if (!size.is_ok()) return size.status();
+        const auto offset = static_cast<std::uint64_t>(params[1].as_double());
+        auto length = static_cast<std::uint64_t>(params[2].as_double());
+        if (params[1].as_double() < 0 || params[2].as_double() < 0) {
+          return invalid_argument_error("file.read: offset/length must be >= 0");
+        }
+        if (offset > size.value()) {
+          return invalid_argument_error("file.read: offset beyond end of file");
+        }
+        length = std::min({length, size.value() - offset, kMaxReadChunk});
+        Struct s;
+        s["data"] = Value(synthesize_content(name, offset, static_cast<std::size_t>(length)));
+        s["bytes"] = Value(static_cast<std::int64_t>(length));
+        s["eof"] = Value(offset + length >= size.value());
+        return Value(std::move(s));
+      });
+
+  host.registry().register_service(
+      {"file@" + site, host.name(), host.port(), "xmlrpc", {}, 0});
+}
+
+}  // namespace gae::gridfile

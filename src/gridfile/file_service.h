@@ -1,0 +1,34 @@
+// Remote file access over the Clarens host — the "web interface" the
+// steering service publishes execution state to (§4.2.4: "This execution
+// state is made available for download"). Serves one site's storage element:
+//
+//   file.list([prefix])            -> [{name, bytes}, ...]
+//   file.stat(name)                -> {name, bytes}
+//   file.read(name, offset, len)   -> {data, bytes, eof}
+//
+// The storage elements are simulated (names + sizes), so reads return
+// deterministic synthetic content: byte i of file f is hash(f, i). Chunked
+// reads therefore compose exactly like reads of a real file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "clarens/host.h"
+#include "sim/grid.h"
+
+namespace gae::gridfile {
+
+/// Maximum bytes one file.read call returns.
+inline constexpr std::uint64_t kMaxReadChunk = 1 << 20;
+
+/// Deterministic synthetic content of `name` at [offset, offset+length).
+std::string synthesize_content(const std::string& name, std::uint64_t offset,
+                               std::size_t length);
+
+/// Registers the file.* methods serving `site`'s storage element. The grid
+/// must outlive the host.
+void register_file_methods(clarens::ClarensHost& host, sim::Grid& grid,
+                           const std::string& site);
+
+}  // namespace gae::gridfile

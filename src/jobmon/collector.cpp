@@ -1,0 +1,76 @@
+#include "jobmon/collector.h"
+
+namespace gae::jobmon {
+
+JobInformationCollector::JobInformationCollector(UpdateCallback on_update)
+    : on_update_(std::move(on_update)) {}
+
+JobInformationCollector::~JobInformationCollector() {
+  for (auto& [service, token] : subscriptions_) service->unsubscribe(token);
+}
+
+void JobInformationCollector::attach(const std::string& site,
+                                     exec::ExecutionService* service) {
+  services_[site] = service;
+  const int token = service->subscribe([this, site, service](const exec::TaskEvent& ev) {
+    if (!on_update_) return;
+    auto info = service->query(ev.task_id);
+    if (info.is_ok()) {
+      on_update_(ev.task_id, info.value(), site, ev.time);
+    } else if (exec::is_terminal(ev.new_state)) {
+      // The service may already be unreachable (whole-service failure);
+      // synthesise a terminal record from the event so the DB still learns.
+      exec::TaskInfo stub;
+      stub.spec.id = ev.task_id;
+      stub.spec.job_id = ev.job_id;
+      stub.state = ev.new_state;
+      stub.completion_time = ev.time;
+      stub.detail = ev.detail;
+      on_update_(ev.task_id, stub, site, ev.time);
+    }
+  });
+  subscriptions_.emplace_back(service, token);
+}
+
+Result<exec::TaskInfo> JobInformationCollector::collect(const std::string& task_id) const {
+  bool saw_down_service = false;
+  for (const auto& [site, service] : services_) {
+    if (!service->is_up()) {
+      saw_down_service = true;
+      continue;
+    }
+    auto info = service->query(task_id);
+    if (info.is_ok()) return info;
+  }
+  if (saw_down_service) {
+    return unavailable_error("task " + task_id + " not found; some services are down");
+  }
+  return not_found_error("no execution service knows task " + task_id);
+}
+
+Result<std::string> JobInformationCollector::site_of(const std::string& task_id) const {
+  for (const auto& [site, service] : services_) {
+    if (!service->is_up()) continue;
+    if (service->query(task_id).is_ok()) return site;
+  }
+  return not_found_error("no execution service knows task " + task_id);
+}
+
+std::vector<std::pair<std::string, exec::TaskInfo>>
+JobInformationCollector::collect_all() const {
+  std::vector<std::pair<std::string, exec::TaskInfo>> out;
+  for (const auto& [site, service] : services_) {
+    if (!service->is_up()) continue;
+    for (auto& info : service->list_tasks()) out.emplace_back(site, std::move(info));
+  }
+  return out;
+}
+
+std::vector<std::string> JobInformationCollector::sites() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [site, _] : services_) out.push_back(site);
+  return out;
+}
+
+}  // namespace gae::jobmon

@@ -1,0 +1,51 @@
+// Job Information Collector (paper §5.2): monitors scheduled jobs by
+// querying the execution services directly, and pushes an update to the
+// DBManager whenever a job completes or terminates with an error.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/execution_service.h"
+
+namespace gae::jobmon {
+
+class JobInformationCollector {
+ public:
+  /// Called on every state change of any attached service's tasks.
+  using UpdateCallback = std::function<void(const std::string& task_id,
+                                            const exec::TaskInfo& info,
+                                            const std::string& site, SimTime now)>;
+
+  explicit JobInformationCollector(UpdateCallback on_update);
+  ~JobInformationCollector();
+
+  JobInformationCollector(const JobInformationCollector&) = delete;
+  JobInformationCollector& operator=(const JobInformationCollector&) = delete;
+
+  /// Attaches the collector to a site's execution service.
+  void attach(const std::string& site, exec::ExecutionService* service);
+
+  /// Live task info, searched across attached services. NOT_FOUND when no
+  /// reachable service knows the task; UNAVAILABLE when the only service
+  /// that could know it is down.
+  Result<exec::TaskInfo> collect(const std::string& task_id) const;
+
+  /// Site currently hosting the task (live search).
+  Result<std::string> site_of(const std::string& task_id) const;
+
+  /// All live tasks as (site, info) pairs.
+  std::vector<std::pair<std::string, exec::TaskInfo>> collect_all() const;
+
+  std::vector<std::string> sites() const;
+
+ private:
+  UpdateCallback on_update_;
+  std::map<std::string, exec::ExecutionService*> services_;
+  std::vector<std::pair<exec::ExecutionService*, int>> subscriptions_;
+};
+
+}  // namespace gae::jobmon

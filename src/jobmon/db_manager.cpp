@@ -1,0 +1,38 @@
+#include "jobmon/db_manager.h"
+
+namespace gae::jobmon {
+
+void DBManager::update(const std::string& task_id, const exec::TaskInfo& info,
+                       const std::string& site, SimTime now) {
+  JobRecord& rec = records_[task_id];
+  const bool state_changed = rec.updated_at == 0 || rec.info.state != info.state;
+  rec.info = info;
+  rec.site = site;
+  rec.updated_at = now;
+
+  // "The Job Monitoring Service ... sends an update to MonALISA whenever the
+  // state of a job changes" (§5). State transitions go to the event log;
+  // progress goes to a numeric series so dashboards can plot it.
+  if (monitoring_) {
+    if (state_changed) {
+      monitoring_->publish_event({now, site, "job_state",
+                                  task_id + ":" + exec::task_state_name(info.state)});
+    }
+    monitoring_->publish(task_id, "progress", now, info.progress);
+  }
+}
+
+Result<JobRecord> DBManager::get(const std::string& task_id) const {
+  auto it = records_.find(task_id);
+  if (it == records_.end()) return not_found_error("no record for task " + task_id);
+  return it->second;
+}
+
+std::vector<JobRecord> DBManager::all() const {
+  std::vector<JobRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [_, rec] : records_) out.push_back(rec);
+  return out;
+}
+
+}  // namespace gae::jobmon

@@ -1,0 +1,43 @@
+// DBManager (paper §5.4): each Job Monitoring Service instance owns a
+// database repository of job monitoring records. The DBManager controls all
+// access to it and publishes job monitoring updates to MonALISA.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/job.h"
+#include "monalisa/repository.h"
+
+namespace gae::jobmon {
+
+/// A stored monitoring record: the task view plus where it ran.
+struct JobRecord {
+  exec::TaskInfo info;
+  std::string site;
+  SimTime updated_at = 0;
+};
+
+class DBManager {
+ public:
+  /// `monitoring` may be null (no MonALISA publishing).
+  explicit DBManager(monalisa::Repository* monitoring) : monitoring_(monitoring) {}
+
+  /// Inserts or refreshes a record and publishes the state to MonALISA.
+  void update(const std::string& task_id, const exec::TaskInfo& info,
+              const std::string& site, SimTime now);
+
+  /// NOT_FOUND when the repository has no record of the task.
+  Result<JobRecord> get(const std::string& task_id) const;
+
+  std::vector<JobRecord> all() const;
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  monalisa::Repository* monitoring_;
+  std::map<std::string, JobRecord> records_;
+};
+
+}  // namespace gae::jobmon

@@ -1,0 +1,162 @@
+#include "jobmon/rpc_binding.h"
+
+namespace gae::jobmon {
+
+using rpc::Array;
+using rpc::CallContext;
+using rpc::Struct;
+using rpc::Value;
+
+Value report_to_value(const JobMonitorReport& report) {
+  Struct out;
+  const exec::TaskInfo& info = report.info;
+  out["task_id"] = Value(info.spec.id);
+  out["job_id"] = Value(info.spec.job_id);
+  out["owner"] = Value(info.spec.owner);
+  out["status"] = Value(std::string(exec::task_state_name(info.state)));
+  out["site"] = Value(report.site);
+  out["node"] = Value(info.node);
+  out["priority"] = Value(static_cast<std::int64_t>(info.spec.priority));
+  out["queue_position"] = Value(static_cast<std::int64_t>(info.queue_position));
+  out["progress"] = Value(info.progress);
+  out["cpu_seconds_used"] = Value(info.cpu_seconds_used);
+  out["elapsed_seconds"] = Value(report.elapsed_seconds);
+  out["remaining_seconds"] = Value(report.remaining_seconds);
+  out["estimated_runtime_seconds"] = Value(report.estimated_runtime_seconds);
+  out["submit_time"] = Value(to_seconds(info.submit_time));
+  out["execution_time"] =
+      Value(info.start_time == kSimTimeNever ? -1.0 : to_seconds(info.start_time));
+  out["completion_time"] =
+      Value(info.completion_time == kSimTimeNever ? -1.0 : to_seconds(info.completion_time));
+  out["input_bytes"] = Value(static_cast<std::int64_t>(info.input_bytes_transferred));
+  out["output_bytes"] = Value(static_cast<std::int64_t>(info.output_bytes_written));
+  out["detail"] = Value(info.detail);
+  Struct env;
+  for (const auto& [k, v] : info.spec.environment) env[k] = Value(v);
+  out["environment"] = Value(std::move(env));
+  return Value(std::move(out));
+}
+
+namespace {
+
+/// All jobmon methods take exactly one string parameter: the task id.
+Result<std::string> task_id_param(const Array& params, const char* method) {
+  if (params.size() != 1 || !params[0].is_string()) {
+    return invalid_argument_error(std::string(method) + "(task_id)");
+  }
+  return params[0].as_string();
+}
+
+}  // namespace
+
+void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& service) {
+  auto& d = host.dispatcher();
+
+  d.register_method("jobmon.info",
+                    [&service](const Array& params, const CallContext&) -> Result<Value> {
+                      auto id = task_id_param(params, "jobmon.info");
+                      if (!id.is_ok()) return id.status();
+                      auto report = service.info(id.value());
+                      if (!report.is_ok()) return report.status();
+                      return report_to_value(report.value());
+                    });
+
+  d.register_method("jobmon.status",
+                    [&service](const Array& params, const CallContext&) -> Result<Value> {
+                      auto id = task_id_param(params, "jobmon.status");
+                      if (!id.is_ok()) return id.status();
+                      auto s = service.status(id.value());
+                      if (!s.is_ok()) return s.status();
+                      return Value(std::move(s).value());
+                    });
+
+  d.register_method("jobmon.remainingTime",
+                    [&service](const Array& params, const CallContext&) -> Result<Value> {
+                      auto id = task_id_param(params, "jobmon.remainingTime");
+                      if (!id.is_ok()) return id.status();
+                      auto v = service.remaining_time(id.value());
+                      if (!v.is_ok()) return v.status();
+                      return Value(v.value());
+                    });
+
+  d.register_method("jobmon.elapsedTime",
+                    [&service](const Array& params, const CallContext&) -> Result<Value> {
+                      auto id = task_id_param(params, "jobmon.elapsedTime");
+                      if (!id.is_ok()) return id.status();
+                      auto v = service.elapsed_time(id.value());
+                      if (!v.is_ok()) return v.status();
+                      return Value(v.value());
+                    });
+
+  d.register_method("jobmon.queuePosition",
+                    [&service](const Array& params, const CallContext&) -> Result<Value> {
+                      auto id = task_id_param(params, "jobmon.queuePosition");
+                      if (!id.is_ok()) return id.status();
+                      auto v = service.queue_position(id.value());
+                      if (!v.is_ok()) return v.status();
+                      return Value(static_cast<std::int64_t>(v.value()));
+                    });
+
+  d.register_method("jobmon.progress",
+                    [&service](const Array& params, const CallContext&) -> Result<Value> {
+                      auto id = task_id_param(params, "jobmon.progress");
+                      if (!id.is_ok()) return id.status();
+                      auto v = service.progress(id.value());
+                      if (!v.is_ok()) return v.status();
+                      return Value(v.value());
+                    });
+
+  d.register_method("jobmon.jobSummary",
+                    [&service](const Array& params, const CallContext&) -> Result<Value> {
+                      auto id = task_id_param(params, "jobmon.jobSummary(job_id)");
+                      if (!id.is_ok()) return id.status();
+                      auto s = service.job_summary(id.value());
+                      if (!s.is_ok()) return s.status();
+                      Struct out;
+                      out["job_id"] = Value(s.value().job_id);
+                      out["tasks_total"] = Value(static_cast<std::int64_t>(s.value().tasks_total));
+                      out["running"] = Value(static_cast<std::int64_t>(s.value().running));
+                      out["queued"] = Value(static_cast<std::int64_t>(s.value().queued));
+                      out["completed"] = Value(static_cast<std::int64_t>(s.value().completed));
+                      out["failed"] = Value(static_cast<std::int64_t>(s.value().failed));
+                      out["total_cpu_seconds"] = Value(s.value().total_cpu_seconds);
+                      out["mean_progress"] = Value(s.value().mean_progress);
+                      return Value(std::move(out));
+                    });
+
+  d.register_method(
+      "jobmon.eventsSince",
+      [&service](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.empty() || !params[0].is_int()) {
+          return invalid_argument_error("jobmon.eventsSince(seq[, max])");
+        }
+        const auto after = static_cast<std::uint64_t>(params[0].as_int());
+        const std::size_t max =
+            params.size() > 1 ? static_cast<std::size_t>(params[1].as_int()) : 100;
+        Array out;
+        for (const auto& ev : service.events_since(after, max)) {
+          Struct s;
+          s["seq"] = Value(static_cast<std::int64_t>(ev.seq));
+          s["time"] = Value(to_seconds(ev.time));
+          s["task_id"] = Value(ev.task_id);
+          s["site"] = Value(ev.site);
+          s["state"] = Value(std::string(exec::task_state_name(ev.state)));
+          out.emplace_back(std::move(s));
+        }
+        return Value(std::move(out));
+      });
+
+  d.register_method("jobmon.list",
+                    [&service](const Array&, const CallContext&) -> Result<Value> {
+                      Array out;
+                      for (const auto& report : service.list_all()) {
+                        out.push_back(report_to_value(report));
+                      }
+                      return Value(std::move(out));
+                    });
+
+  host.registry().register_service(
+      {"jobmon@" + host.name(), host.name(), host.port(), "xmlrpc", {}, 0});
+}
+
+}  // namespace gae::jobmon

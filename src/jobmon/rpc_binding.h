@@ -1,0 +1,19 @@
+// JMExecutable (paper §5.3): the web-service face of the Job Monitoring
+// Service. Registers "jobmon.*" methods on a Clarens host and forwards them
+// to the JMManager.
+#pragma once
+
+#include "clarens/host.h"
+#include "jobmon/service.h"
+
+namespace gae::jobmon {
+
+/// Serialises a report as an RPC struct (the §5 field list on the wire).
+rpc::Value report_to_value(const JobMonitorReport& report);
+
+/// Registers jobmon.info / status / remainingTime / elapsedTime /
+/// queuePosition / progress / list on the host. The service must outlive
+/// the host.
+void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& service);
+
+}  // namespace gae::jobmon

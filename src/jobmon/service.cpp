@@ -1,0 +1,159 @@
+#include "jobmon/service.h"
+
+#include <algorithm>
+#include <set>
+
+namespace gae::jobmon {
+
+JobMonitoringService::JobMonitoringService(
+    const Clock& clock, monalisa::Repository* monitoring,
+    std::shared_ptr<const estimators::EstimateDatabase> estimates)
+    : clock_(clock), estimates_(std::move(estimates)) {
+  if (!estimates_) estimates_ = std::make_shared<estimators::EstimateDatabase>();
+  db_ = std::make_unique<DBManager>(monitoring);
+  collector_ = std::make_unique<JobInformationCollector>(
+      [this](const std::string& task_id, const exec::TaskInfo& info,
+             const std::string& site, SimTime now) {
+        // The collector pushes every state change into the repository, so
+        // completed/failed tasks stay queryable after services forget them.
+        db_->update(task_id, info, site, now);
+        events_.push_back({next_seq_++, now, task_id, site, info.state});
+        while (events_.size() > kMaxEvents) events_.pop_front();
+      });
+}
+
+void JobMonitoringService::attach_site(const std::string& site,
+                                       exec::ExecutionService* service) {
+  collector_->attach(site, service);
+}
+
+JobMonitorReport JobMonitoringService::make_report(const exec::TaskInfo& info,
+                                                   const std::string& site,
+                                                   bool from_db) const {
+  JobMonitorReport report;
+  report.info = info;
+  report.site = site;
+  report.from_database = from_db;
+  report.estimated_runtime_seconds = estimates_->get(info.spec.id).value_or(0.0);
+
+  if (info.start_time != kSimTimeNever) {
+    const SimTime end =
+        info.completion_time != kSimTimeNever ? info.completion_time : clock_.now();
+    report.elapsed_seconds = to_seconds(end - info.start_time);
+  }
+  if (exec::is_terminal(info.state)) {
+    report.remaining_seconds = 0.0;
+  } else if (report.estimated_runtime_seconds > 0) {
+    report.remaining_seconds =
+        std::max(0.0, report.estimated_runtime_seconds - info.cpu_seconds_used);
+  }
+  return report;
+}
+
+Result<JobMonitorReport> JobMonitoringService::info(const std::string& task_id) const {
+  // DBManager first (authoritative for terminal tasks) ...
+  auto rec = db_->get(task_id);
+  if (rec.is_ok() && exec::is_terminal(rec.value().info.state)) {
+    return make_report(rec.value().info, rec.value().site, true);
+  }
+  // ... then the live collector.
+  auto live = collector_->collect(task_id);
+  if (live.is_ok()) {
+    const auto site = collector_->site_of(task_id);
+    return make_report(live.value(), site.is_ok() ? site.value() : "", false);
+  }
+  // Last known record beats nothing (e.g. the hosting service just died).
+  if (rec.is_ok()) return make_report(rec.value().info, rec.value().site, true);
+  return live.status();
+}
+
+Result<std::string> JobMonitoringService::status(const std::string& task_id) const {
+  auto r = info(task_id);
+  if (!r.is_ok()) return r.status();
+  return std::string(exec::task_state_name(r.value().info.state));
+}
+
+Result<double> JobMonitoringService::remaining_time(const std::string& task_id) const {
+  auto r = info(task_id);
+  if (!r.is_ok()) return r.status();
+  return r.value().remaining_seconds;
+}
+
+Result<double> JobMonitoringService::elapsed_time(const std::string& task_id) const {
+  auto r = info(task_id);
+  if (!r.is_ok()) return r.status();
+  return r.value().elapsed_seconds;
+}
+
+Result<int> JobMonitoringService::queue_position(const std::string& task_id) const {
+  auto r = info(task_id);
+  if (!r.is_ok()) return r.status();
+  return r.value().info.queue_position;
+}
+
+Result<double> JobMonitoringService::progress(const std::string& task_id) const {
+  auto r = info(task_id);
+  if (!r.is_ok()) return r.status();
+  return r.value().info.progress;
+}
+
+Result<JobMonitoringService::JobSummary> JobMonitoringService::job_summary(
+    const std::string& job_id) const {
+  JobSummary summary;
+  summary.job_id = job_id;
+  double progress_sum = 0;
+  for (const auto& report : list_all()) {
+    if (report.info.spec.job_id != job_id) continue;
+    ++summary.tasks_total;
+    switch (report.info.state) {
+      case exec::TaskState::kRunning:
+      case exec::TaskState::kStaging:
+        ++summary.running;
+        break;
+      case exec::TaskState::kQueued:
+      case exec::TaskState::kSuspended:
+        ++summary.queued;
+        break;
+      case exec::TaskState::kCompleted:
+        ++summary.completed;
+        break;
+      case exec::TaskState::kFailed:
+      case exec::TaskState::kKilled:
+        ++summary.failed;
+        break;
+    }
+    summary.total_cpu_seconds += report.info.cpu_seconds_used;
+    progress_sum += report.info.progress;
+  }
+  if (summary.tasks_total == 0) return not_found_error("no tasks for job " + job_id);
+  summary.mean_progress = progress_sum / static_cast<double>(summary.tasks_total);
+  return summary;
+}
+
+std::vector<MonitorEvent> JobMonitoringService::events_since(std::uint64_t after,
+                                                             std::size_t max) const {
+  std::vector<MonitorEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.seq <= after) continue;
+    out.push_back(ev);
+    if (out.size() >= max) break;
+  }
+  return out;
+}
+
+std::vector<JobMonitorReport> JobMonitoringService::list_all() const {
+  std::vector<JobMonitorReport> out;
+  std::set<std::string> seen;
+  for (const auto& [site, info] : collector_->collect_all()) {
+    seen.insert(info.spec.id);
+    out.push_back(make_report(info, site, false));
+  }
+  for (const auto& rec : db_->all()) {
+    if (seen.insert(rec.info.spec.id).second) {
+      out.push_back(make_report(rec.info, rec.site, true));
+    }
+  }
+  return out;
+}
+
+}  // namespace gae::jobmon

@@ -1,0 +1,114 @@
+// Job Monitoring Service (paper §5).
+//
+// Composition mirrors fig. 3: a Job Information Collector watches the
+// execution services; a DBManager owns the monitoring repository and
+// publishes to MonALISA; the JMManager answers queries by consulting the
+// DBManager first and falling back to the collector for live tasks; the
+// JMExecutable (rpc_binding.h) exposes it all as Clarens web-service
+// methods for the steering service and end-user clients.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "estimators/estimate_db.h"
+#include "exec/execution_service.h"
+#include "jobmon/collector.h"
+#include "jobmon/db_manager.h"
+#include "monalisa/repository.h"
+
+namespace gae::jobmon {
+
+/// One monitoring event, as exposed to polling clients (jobmon.eventsSince).
+struct MonitorEvent {
+  std::uint64_t seq = 0;  // monotonically increasing, starts at 1
+  SimTime time = 0;
+  std::string task_id;
+  std::string site;
+  exec::TaskState state = exec::TaskState::kQueued;
+};
+
+/// Everything the paper's §5 API exposes for one task, in one struct:
+/// status, remaining/elapsed time, estimated runtime, queue position,
+/// priority, submission/execution/completion times, CPU time, I/O, owner
+/// and environment are all reachable from here.
+struct JobMonitorReport {
+  exec::TaskInfo info;
+  std::string site;
+  /// Submit-time runtime estimate (0 when none was recorded).
+  double estimated_runtime_seconds = 0.0;
+  /// Wall time since the task first started executing (0 while queued).
+  double elapsed_seconds = 0.0;
+  /// Estimated CPU-seconds still to do: max(0, estimate - cpu_used).
+  double remaining_seconds = 0.0;
+  /// True when served from the DB repository rather than a live service.
+  bool from_database = false;
+};
+
+class JobMonitoringService {
+ public:
+  /// `monitoring` (MonALISA) and `estimates` may be shared with other
+  /// services; `estimates` supplies the §5 "estimated run time" field.
+  JobMonitoringService(const Clock& clock, monalisa::Repository* monitoring,
+                       std::shared_ptr<const estimators::EstimateDatabase> estimates);
+
+  /// Attaches a site's execution service for live collection.
+  void attach_site(const std::string& site, exec::ExecutionService* service);
+
+  // -- JMManager query flow --------------------------------------------------
+
+  /// Full report. Terminal tasks come from the DB repository; live tasks
+  /// from the collector (paper: DBManager first, then collector).
+  Result<JobMonitorReport> info(const std::string& task_id) const;
+
+  // Convenience accessors used by thin clients.
+  Result<std::string> status(const std::string& task_id) const;
+  Result<double> remaining_time(const std::string& task_id) const;
+  Result<double> elapsed_time(const std::string& task_id) const;
+  Result<int> queue_position(const std::string& task_id) const;
+  Result<double> progress(const std::string& task_id) const;
+
+  /// Reports for every known task (live + archived), deduplicated by id.
+  std::vector<JobMonitorReport> list_all() const;
+
+  /// Aggregate view of one job (all tasks sharing job_id).
+  struct JobSummary {
+    std::string job_id;
+    std::size_t tasks_total = 0;
+    std::size_t running = 0;
+    std::size_t queued = 0;
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    double total_cpu_seconds = 0.0;
+    double mean_progress = 0.0;  // across non-terminal + terminal tasks
+  };
+
+  /// NOT_FOUND when no task of the job is known anywhere.
+  Result<JobSummary> job_summary(const std::string& job_id) const;
+
+  /// Events with seq > `after`, oldest first, at most `max`. Clients poll
+  /// with their last seen sequence number to tail the job-state stream.
+  std::vector<MonitorEvent> events_since(std::uint64_t after, std::size_t max = 100) const;
+  std::uint64_t last_event_seq() const { return next_seq_ - 1; }
+
+  const DBManager& db() const { return *db_; }
+  JobInformationCollector& collector() { return *collector_; }
+
+ private:
+  JobMonitorReport make_report(const exec::TaskInfo& info, const std::string& site,
+                               bool from_db) const;
+
+  const Clock& clock_;
+  std::shared_ptr<const estimators::EstimateDatabase> estimates_;
+  std::unique_ptr<DBManager> db_;
+  std::unique_ptr<JobInformationCollector> collector_;
+  std::deque<MonitorEvent> events_;
+  std::uint64_t next_seq_ = 1;
+  static constexpr std::size_t kMaxEvents = 4096;
+};
+
+}  // namespace gae::jobmon

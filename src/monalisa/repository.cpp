@@ -1,0 +1,124 @@
+#include "monalisa/repository.h"
+
+#include <algorithm>
+
+namespace gae::monalisa {
+
+void Repository::publish(const std::string& source, const std::string& metric,
+                         SimTime time, double value) {
+  auto& points = series_[{source, metric}];
+  points.push_back({time, value});
+  while (points.size() > max_points_) points.pop_front();
+  for (const auto& [_, cb] : metric_subs_) cb(source, metric, points.back());
+
+  for (auto& [token, alarm] : alarms_) {
+    if (alarm.spec.source != source || alarm.spec.metric != metric) continue;
+    const bool beyond = alarm.spec.on_rise ? value >= alarm.spec.threshold
+                                           : value <= alarm.spec.threshold;
+    if (beyond && alarm.armed) {
+      alarm.armed = false;
+      AlarmEvent ev{alarm.spec, {time, value}};
+      alarm_log_.push_back(ev);
+      if (alarm.callback) alarm.callback(ev);
+    } else if (!beyond) {
+      alarm.armed = true;
+    }
+  }
+}
+
+Result<MetricPoint> Repository::latest(const std::string& source,
+                                       const std::string& metric) const {
+  auto it = series_.find({source, metric});
+  if (it == series_.end() || it->second.empty()) {
+    return not_found_error("no data for " + source + "/" + metric);
+  }
+  return it->second.back();
+}
+
+std::vector<MetricPoint> Repository::series(const std::string& source,
+                                            const std::string& metric, SimTime since,
+                                            SimTime until) const {
+  std::vector<MetricPoint> out;
+  auto it = series_.find({source, metric});
+  if (it == series_.end()) return out;
+  for (const auto& p : it->second) {
+    if (p.time >= since && p.time <= until) out.push_back(p);
+  }
+  return out;
+}
+
+Result<double> Repository::windowed_average(const std::string& source,
+                                            const std::string& metric, SimTime now,
+                                            SimDuration window) const {
+  const auto points = series(source, metric, now - window, now);
+  if (points.empty()) return not_found_error("no recent data for " + source + "/" + metric);
+  double sum = 0;
+  for (const auto& p : points) sum += p.value;
+  return sum / static_cast<double>(points.size());
+}
+
+std::vector<std::pair<std::string, std::string>> Repository::series_names() const {
+  std::vector<std::pair<std::string, std::string>> names;
+  names.reserve(series_.size());
+  for (const auto& [key, _] : series_) names.push_back(key);
+  return names;
+}
+
+void Repository::publish_event(TextEvent event) {
+  events_.push_back(std::move(event));
+  while (events_.size() > max_points_ * 4) events_.pop_front();
+  for (const auto& [_, cb] : event_subs_) cb(events_.back());
+}
+
+std::vector<TextEvent> Repository::events_since(SimTime since) const {
+  std::vector<TextEvent> out;
+  for (const auto& e : events_) {
+    if (e.time >= since) out.push_back(e);
+  }
+  return out;
+}
+
+int Repository::subscribe_metrics(MetricCallback cb) {
+  const int token = next_token_++;
+  metric_subs_[token] = std::move(cb);
+  return token;
+}
+
+int Repository::subscribe_events(EventCallback cb) {
+  const int token = next_token_++;
+  event_subs_[token] = std::move(cb);
+  return token;
+}
+
+int Repository::add_alarm(AlarmSpec spec, AlarmCallback cb) {
+  const int token = next_token_++;
+  alarms_[token] = {std::move(spec), std::move(cb), true};
+  return token;
+}
+
+void Repository::unsubscribe(int token) {
+  metric_subs_.erase(token);
+  event_subs_.erase(token);
+  alarms_.erase(token);
+}
+
+PeriodicSampler::PeriodicSampler(sim::Simulation& sim, SimDuration interval,
+                                 std::function<void()> sample)
+    : sim_(sim), interval_(interval), sample_(std::move(sample)) {
+  arm();
+}
+
+PeriodicSampler::~PeriodicSampler() {
+  stopped_ = true;
+  if (pending_ != sim::kInvalidEvent) sim_.cancel(pending_);
+}
+
+void PeriodicSampler::arm() {
+  pending_ = sim_.schedule_after(interval_, [this] {
+    if (stopped_) return;
+    sample_();
+    arm();
+  });
+}
+
+}  // namespace gae::monalisa

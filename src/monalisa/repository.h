@@ -1,0 +1,141 @@
+// MonALISA-substitute monitoring repository.
+//
+// The paper's services use MonALISA two ways: the DBManager publishes every
+// job state change to it (§5.4), and the scheduler reads per-site load from
+// it when ranking sites (§6.1 step d). This repository provides both: a
+// time-series store of numeric metrics keyed by (source, metric), a text
+// event log, pub/sub, and windowed aggregation. A PeriodicSampler drives
+// recurring measurements in virtual time.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_types.h"
+#include "sim/engine.h"
+
+namespace gae::monalisa {
+
+struct MetricPoint {
+  SimTime time;
+  double value;
+};
+
+struct TextEvent {
+  SimTime time;
+  std::string source;
+  std::string kind;
+  std::string payload;
+};
+
+/// Edge-triggered threshold alarm on one metric series.
+struct AlarmSpec {
+  std::string source;
+  std::string metric;
+  double threshold = 0.0;
+  /// true: fire when the value rises to >= threshold; false: falls to <=.
+  bool on_rise = true;
+};
+
+struct AlarmEvent {
+  AlarmSpec spec;
+  MetricPoint point;
+};
+
+class Repository {
+ public:
+  /// `max_points_per_series` bounds memory; older points are dropped.
+  explicit Repository(std::size_t max_points_per_series = 4096)
+      : max_points_(max_points_per_series) {}
+
+  // -- Numeric metrics ------------------------------------------------------
+
+  void publish(const std::string& source, const std::string& metric, SimTime time,
+               double value);
+
+  /// Most recent point; NOT_FOUND for unknown series.
+  Result<MetricPoint> latest(const std::string& source, const std::string& metric) const;
+
+  /// Points with since <= time <= until, oldest first.
+  std::vector<MetricPoint> series(const std::string& source, const std::string& metric,
+                                  SimTime since, SimTime until) const;
+
+  /// Mean over points within [now - window, now]; NOT_FOUND when empty.
+  Result<double> windowed_average(const std::string& source, const std::string& metric,
+                                  SimTime now, SimDuration window) const;
+
+  /// All (source, metric) pairs currently stored.
+  std::vector<std::pair<std::string, std::string>> series_names() const;
+
+  // -- Text events (job state updates from the DBManager) -------------------
+
+  void publish_event(TextEvent event);
+  std::vector<TextEvent> events_since(SimTime since) const;
+  std::size_t event_count() const { return events_.size(); }
+
+  // -- Subscriptions ---------------------------------------------------------
+
+  using MetricCallback =
+      std::function<void(const std::string& source, const std::string& metric,
+                         const MetricPoint&)>;
+  using EventCallback = std::function<void(const TextEvent&)>;
+  using AlarmCallback = std::function<void(const AlarmEvent&)>;
+
+  int subscribe_metrics(MetricCallback cb);
+  int subscribe_events(EventCallback cb);
+
+  /// Arms an edge-triggered alarm: the callback fires when the series
+  /// crosses the threshold in the armed direction (not on every sample
+  /// beyond it). MonALISA calls these filters/alerts.
+  int add_alarm(AlarmSpec spec, AlarmCallback cb);
+
+  void unsubscribe(int token);
+
+  const std::vector<AlarmEvent>& alarm_log() const { return alarm_log_; }
+
+ private:
+  using SeriesKey = std::pair<std::string, std::string>;
+
+  std::size_t max_points_;
+  std::map<SeriesKey, std::deque<MetricPoint>> series_;
+  std::deque<TextEvent> events_;
+  struct AlarmState {
+    AlarmSpec spec;
+    AlarmCallback callback;
+    bool armed = true;  // rearmed when the series returns across the threshold
+  };
+
+  std::map<int, MetricCallback> metric_subs_;
+  std::map<int, EventCallback> event_subs_;
+  std::map<int, AlarmState> alarms_;
+  std::vector<AlarmEvent> alarm_log_;
+  int next_token_ = 1;
+};
+
+/// Fires `sample` every `interval` of virtual time, forever (until
+/// destroyed). Used to publish per-site load to the repository the way
+/// MonALISA farm agents do.
+class PeriodicSampler {
+ public:
+  PeriodicSampler(sim::Simulation& sim, SimDuration interval, std::function<void()> sample);
+  ~PeriodicSampler();
+
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
+
+ private:
+  void arm();
+
+  sim::Simulation& sim_;
+  SimDuration interval_;
+  std::function<void()> sample_;
+  sim::EventId pending_ = sim::kInvalidEvent;
+  bool stopped_ = false;
+};
+
+}  // namespace gae::monalisa

@@ -1,0 +1,83 @@
+#include "quota/quota_service.h"
+
+namespace gae::quota {
+
+void QuotaAccountingService::set_site_rate(const std::string& site,
+                                           double cost_per_cpu_hour) {
+  site_rates_[site] = cost_per_cpu_hour;
+}
+
+Result<double> QuotaAccountingService::site_rate(const std::string& site) const {
+  auto it = site_rates_.find(site);
+  if (it == site_rates_.end()) return not_found_error("no rate for site " + site);
+  return it->second;
+}
+
+Result<std::string> QuotaAccountingService::cheapest_site(
+    const std::vector<std::string>& candidates) const {
+  std::string best;
+  double best_rate = 0.0;
+  for (const auto& site : candidates) {
+    auto rate = site_rate(site);
+    if (!rate.is_ok()) continue;
+    if (best.empty() || rate.value() < best_rate) {
+      best = site;
+      best_rate = rate.value();
+    }
+  }
+  if (best.empty()) return not_found_error("no candidate site has a rate");
+  return best;
+}
+
+Result<double> QuotaAccountingService::estimate_cost(const std::string& site,
+                                                     double cpu_hours) const {
+  auto rate = site_rate(site);
+  if (!rate.is_ok()) return rate.status();
+  return rate.value() * cpu_hours;
+}
+
+Status QuotaAccountingService::create_account(const std::string& user,
+                                              double initial_credit) {
+  if (balances_.count(user)) return already_exists_error("account exists: " + user);
+  balances_[user] = initial_credit;
+  return Status::ok();
+}
+
+Result<double> QuotaAccountingService::balance(const std::string& user) const {
+  auto it = balances_.find(user);
+  if (it == balances_.end()) return not_found_error("no account: " + user);
+  return it->second;
+}
+
+Status QuotaAccountingService::grant(const std::string& user, double credit) {
+  auto it = balances_.find(user);
+  if (it == balances_.end()) return not_found_error("no account: " + user);
+  it->second += credit;
+  return Status::ok();
+}
+
+Status QuotaAccountingService::charge(const std::string& user, const std::string& site,
+                                      double cpu_hours) {
+  auto it = balances_.find(user);
+  if (it == balances_.end()) return not_found_error("no account: " + user);
+  auto cost = estimate_cost(site, cpu_hours);
+  if (!cost.is_ok()) return cost.status();
+  if (it->second < cost.value()) {
+    return resource_exhausted_error("insufficient credit for " + user);
+  }
+  it->second -= cost.value();
+  charges_.push_back({user, site, cpu_hours, cost.value()});
+  return Status::ok();
+}
+
+Result<bool> QuotaAccountingService::can_afford(const std::string& user,
+                                                const std::string& site,
+                                                double cpu_hours) const {
+  auto bal = balance(user);
+  if (!bal.is_ok()) return bal.status();
+  auto cost = estimate_cost(site, cpu_hours);
+  if (!cost.is_ok()) return cost.status();
+  return bal.value() >= cost.value();
+}
+
+}  // namespace gae::quota

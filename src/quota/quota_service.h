@@ -1,0 +1,62 @@
+// Quota and Accounting Service.
+//
+// The paper calls its version "currently, just a trivial prototype" (§4.2.2)
+// that the Optimizer consults to find the cheapest execution site. This
+// implementation keeps that spirit but is complete enough to charge users:
+// per-site CPU-hour rates, per-user credit balances, and a cheapest-site
+// query.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gae::quota {
+
+struct ChargeRecord {
+  std::string user;
+  std::string site;
+  double cpu_hours = 0.0;
+  double cost = 0.0;
+};
+
+class QuotaAccountingService {
+ public:
+  // -- Site rates -----------------------------------------------------------
+
+  /// Cost per CPU-hour at a site (arbitrary credit units).
+  void set_site_rate(const std::string& site, double cost_per_cpu_hour);
+  Result<double> site_rate(const std::string& site) const;
+
+  /// Cheapest of the candidate sites (NOT_FOUND when none has a rate).
+  Result<std::string> cheapest_site(const std::vector<std::string>& candidates) const;
+
+  /// Predicted cost of running `cpu_hours` at `site`.
+  Result<double> estimate_cost(const std::string& site, double cpu_hours) const;
+
+  // -- User accounts ----------------------------------------------------------
+
+  /// Creates an account with an initial credit; ALREADY_EXISTS on duplicates.
+  Status create_account(const std::string& user, double initial_credit);
+  Result<double> balance(const std::string& user) const;
+  Status grant(const std::string& user, double credit);
+
+  /// Deducts the cost of `cpu_hours` at `site`. RESOURCE_EXHAUSTED when the
+  /// balance cannot cover it (nothing is deducted then).
+  Status charge(const std::string& user, const std::string& site, double cpu_hours);
+
+  /// Whether the user could afford `cpu_hours` at `site` right now.
+  Result<bool> can_afford(const std::string& user, const std::string& site,
+                          double cpu_hours) const;
+
+  const std::vector<ChargeRecord>& charge_log() const { return charges_; }
+
+ private:
+  std::map<std::string, double> site_rates_;
+  std::map<std::string, double> balances_;
+  std::vector<ChargeRecord> charges_;
+};
+
+}  // namespace gae::quota

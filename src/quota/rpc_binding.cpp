@@ -1,0 +1,121 @@
+#include "quota/rpc_binding.h"
+
+namespace gae::quota {
+
+using rpc::Array;
+using rpc::CallContext;
+using rpc::Struct;
+using rpc::Value;
+
+namespace {
+
+Result<std::string> admin_only(clarens::ClarensHost& host, const CallContext& ctx) {
+  auto user = host.user_of(ctx);
+  if (!user.is_ok()) return user.status();
+  if (user.value() != "admin") {
+    return gae::permission_denied_error("quota administration requires the admin role");
+  }
+  return user;
+}
+
+}  // namespace
+
+void register_quota_methods(clarens::ClarensHost& host, QuotaAccountingService& service) {
+  auto& d = host.dispatcher();
+  clarens::ClarensHost* host_ptr = &host;
+
+  // quota.balance() -> caller's credit balance
+  d.register_method(
+      "quota.balance",
+      [host_ptr, &service](const Array&, const CallContext& ctx) -> Result<Value> {
+        auto user = host_ptr->user_of(ctx);
+        if (!user.is_ok()) return user.status();
+        auto balance = service.balance(user.value());
+        if (!balance.is_ok()) return balance.status();
+        return Value(balance.value());
+      });
+
+  // quota.rate(site) -> cost per CPU-hour
+  d.register_method(
+      "quota.rate", [&service](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 1 || !params[0].is_string()) {
+          return invalid_argument_error("quota.rate(site)");
+        }
+        auto rate = service.site_rate(params[0].as_string());
+        if (!rate.is_ok()) return rate.status();
+        return Value(rate.value());
+      });
+
+  // quota.cheapest([site, ...]) -> site name
+  d.register_method(
+      "quota.cheapest",
+      [&service](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 1 || !params[0].is_array()) {
+          return invalid_argument_error("quota.cheapest([sites])");
+        }
+        std::vector<std::string> candidates;
+        for (const auto& s : params[0].as_array()) candidates.push_back(s.as_string());
+        auto best = service.cheapest_site(candidates);
+        if (!best.is_ok()) return best.status();
+        return Value(std::move(best).value());
+      });
+
+  // quota.estimate(site, cpu_hours) -> cost
+  d.register_method(
+      "quota.estimate",
+      [&service](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 2 || !params[0].is_string() || !params[1].is_number()) {
+          return invalid_argument_error("quota.estimate(site, cpu_hours)");
+        }
+        auto cost = service.estimate_cost(params[0].as_string(), params[1].as_double());
+        if (!cost.is_ok()) return cost.status();
+        return Value(cost.value());
+      });
+
+  // quota.charge(site, cpu_hours): charges the calling user.
+  d.register_method(
+      "quota.charge",
+      [host_ptr, &service](const Array& params, const CallContext& ctx) -> Result<Value> {
+        auto user = host_ptr->user_of(ctx);
+        if (!user.is_ok()) return user.status();
+        if (params.size() != 2 || !params[0].is_string() || !params[1].is_number()) {
+          return invalid_argument_error("quota.charge(site, cpu_hours)");
+        }
+        const Status s =
+            service.charge(user.value(), params[0].as_string(), params[1].as_double());
+        if (!s.is_ok()) return s;
+        return Value(service.balance(user.value()).value_or(0.0));
+      });
+
+  // quota.grant(user, credit): admin only.
+  d.register_method(
+      "quota.grant",
+      [host_ptr, &service](const Array& params, const CallContext& ctx) -> Result<Value> {
+        auto admin = admin_only(*host_ptr, ctx);
+        if (!admin.is_ok()) return admin.status();
+        if (params.size() != 2 || !params[0].is_string() || !params[1].is_number()) {
+          return invalid_argument_error("quota.grant(user, credit)");
+        }
+        const Status s = service.grant(params[0].as_string(), params[1].as_double());
+        if (!s.is_ok()) return s;
+        return Value(true);
+      });
+
+  // quota.setRate(site, rate): admin only.
+  d.register_method(
+      "quota.setRate",
+      [host_ptr, &service](const Array& params, const CallContext& ctx) -> Result<Value> {
+        auto admin = admin_only(*host_ptr, ctx);
+        if (!admin.is_ok()) return admin.status();
+        if (params.size() != 2 || !params[0].is_string() || !params[1].is_number()) {
+          return invalid_argument_error("quota.setRate(site, rate)");
+        }
+        service.set_site_rate(params[0].as_string(), params[1].as_double());
+        return Value(true);
+      });
+
+  host.registry().register_service(
+      {"quota@" + host.name(), host.name(), host.port(), "xmlrpc", {}, 0});
+}
+
+}  // namespace gae::quota

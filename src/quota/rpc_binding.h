@@ -1,0 +1,15 @@
+// Web-service face of the Quota & Accounting service: quota.* methods on a
+// Clarens host. Reads are open to the authenticated owner; grants and rate
+// changes are admin-only (enforced here, on top of the host ACL).
+#pragma once
+
+#include "clarens/host.h"
+#include "quota/quota_service.h"
+
+namespace gae::quota {
+
+/// Registers quota.balance / rate / cheapest / estimate / charge / grant /
+/// setRate. The service must outlive the host.
+void register_quota_methods(clarens::ClarensHost& host, QuotaAccountingService& service);
+
+}  // namespace gae::quota

@@ -1,0 +1,86 @@
+#include "replica/catalog.h"
+
+#include <limits>
+
+namespace gae::replica {
+
+Status ReplicaCatalog::register_replica(const std::string& file, const std::string& site,
+                                        SimTime now) {
+  if (!grid_.has_site(site)) return not_found_error("unknown site: " + site);
+  auto size = grid_.site(site).file_size(file);
+  if (!size.is_ok()) {
+    return failed_precondition_error("file " + file + " is not stored at " + site);
+  }
+  entries_[file][site] = {site, size.value(), now};
+  return Status::ok();
+}
+
+Status ReplicaCatalog::unregister_replica(const std::string& file,
+                                          const std::string& site) {
+  auto it = entries_.find(file);
+  if (it == entries_.end() || it->second.erase(site) == 0) {
+    return not_found_error("no replica of " + file + " at " + site);
+  }
+  if (it->second.empty()) entries_.erase(it);
+  return Status::ok();
+}
+
+std::vector<ReplicaInfo> ReplicaCatalog::replicas(const std::string& file) const {
+  std::vector<ReplicaInfo> out;
+  auto it = entries_.find(file);
+  if (it == entries_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [_, info] : it->second) out.push_back(info);
+  return out;
+}
+
+std::size_t ReplicaCatalog::replica_count(const std::string& file) const {
+  auto it = entries_.find(file);
+  return it == entries_.end() ? 0 : it->second.size();
+}
+
+bool ReplicaCatalog::has_replica(const std::string& file, const std::string& site) const {
+  auto it = entries_.find(file);
+  return it != entries_.end() && it->second.count(site) != 0;
+}
+
+Result<std::string> ReplicaCatalog::best_source(const std::string& file,
+                                                const std::string& dst) const {
+  auto it = entries_.find(file);
+  if (it == entries_.end() || it->second.empty()) {
+    return not_found_error("no replicas of " + file);
+  }
+  std::string best;
+  SimDuration best_time = std::numeric_limits<SimDuration>::max();
+  for (const auto& [site, info] : it->second) {
+    const SimDuration t = grid_.transfer_time(site, dst, info.bytes);
+    if (t != kSimTimeNever && t < best_time) {
+      best_time = t;
+      best = site;
+    }
+  }
+  if (best.empty()) return not_found_error("no reachable replica of " + file);
+  return best;
+}
+
+std::vector<std::string> ReplicaCatalog::files() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [file, _] : entries_) out.push_back(file);
+  return out;
+}
+
+void ReplicaCatalog::scan(SimTime now) {
+  for (const auto& site_name : grid_.site_names()) {
+    for (const auto& [file, bytes] : grid_.site(site_name).files()) {
+      ReplicaInfo& info = entries_[file][site_name];
+      if (info.site.empty()) {
+        info = {site_name, bytes, now};
+      } else {
+        info.bytes = bytes;
+      }
+    }
+  }
+}
+
+}  // namespace gae::replica

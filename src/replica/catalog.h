@@ -1,0 +1,55 @@
+// Replica catalog: the data-grid half of the paper's problem statement
+// ("selecting and accessing datasets from suitable storage elements").
+// Tracks which sites hold which logical files and answers best-source
+// queries; the replication manager (replication.h) keeps it warm.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/grid.h"
+
+namespace gae::replica {
+
+struct ReplicaInfo {
+  std::string site;
+  std::uint64_t bytes = 0;
+  SimTime registered_at = 0;
+};
+
+class ReplicaCatalog {
+ public:
+  explicit ReplicaCatalog(sim::Grid& grid) : grid_(grid) {}
+
+  /// Registers a replica; the file must actually exist on the site's storage
+  /// element (FAILED_PRECONDITION otherwise).
+  Status register_replica(const std::string& file, const std::string& site, SimTime now);
+
+  Status unregister_replica(const std::string& file, const std::string& site);
+
+  /// All known replicas of a logical file (may be empty).
+  std::vector<ReplicaInfo> replicas(const std::string& file) const;
+
+  std::size_t replica_count(const std::string& file) const;
+  bool has_replica(const std::string& file, const std::string& site) const;
+
+  /// Site with the cheapest transfer into `dst`; NOT_FOUND when uncatalogued.
+  Result<std::string> best_source(const std::string& file, const std::string& dst) const;
+
+  /// All logical file names in the catalog.
+  std::vector<std::string> files() const;
+
+  /// Rebuilds the catalog from the grid's storage elements (picks up task
+  /// outputs and out-of-band placements).
+  void scan(SimTime now);
+
+ private:
+  sim::Grid& grid_;
+  // file -> site -> info
+  std::map<std::string, std::map<std::string, ReplicaInfo>> entries_;
+};
+
+}  // namespace gae::replica

@@ -1,0 +1,107 @@
+#include "replica/replication.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gae::replica {
+
+ReplicationManager::ReplicationManager(sim::Simulation& sim, sim::Grid& grid,
+                                       ReplicaCatalog& catalog, ReplicationOptions options)
+    : sim_(sim), grid_(grid), catalog_(catalog), options_(options) {}
+
+ReplicationManager::~ReplicationManager() {
+  for (auto& [service, token] : subscriptions_) service->unsubscribe(token);
+}
+
+void ReplicationManager::watch(exec::ExecutionService& service) {
+  exec::ExecutionService* svc = &service;
+  const int token = svc->subscribe([this, svc](const exec::TaskEvent& ev) {
+    if (ev.new_state != exec::TaskState::kStaging) return;
+    auto info = svc->query(ev.task_id);
+    if (!info.is_ok()) return;
+    for (const auto& file : info.value().spec.input_files) {
+      if (!grid_.site(svc->site()).has_file(file)) {
+        record_access(file, svc->site());
+      }
+    }
+  });
+  subscriptions_.emplace_back(svc, token);
+}
+
+void ReplicationManager::record_access(const std::string& file,
+                                       const std::string& dst_site) {
+  ++stats_.accesses_recorded;
+  const int count = ++access_counts_[{file, dst_site}];
+  if (count == options_.hot_access_threshold) {
+    const Status s = replicate(file, dst_site);
+    if (!s.is_ok() && s.code() != StatusCode::kAlreadyExists) {
+      GAE_LOG(Debug) << "replication of " << file << " to " << dst_site
+                     << " not started: " << s;
+    }
+  }
+}
+
+Status ReplicationManager::replicate(const std::string& file, const std::string& dst) {
+  if (!grid_.has_site(dst)) return not_found_error("unknown site: " + dst);
+  if (grid_.site(dst).has_file(file)) {
+    return already_exists_error(file + " already at " + dst);
+  }
+  if (active_.count({file, dst})) {
+    return already_exists_error("replication already queued or in flight");
+  }
+  // Verify a source exists now; the transfer itself re-resolves when it runs.
+  catalog_.scan(sim_.now());
+  auto src = catalog_.best_source(file, dst);
+  if (!src.is_ok()) return src.status();
+
+  active_.insert({file, dst});
+  queue_.push_back({file, dst});
+  start_next_transfer();
+  return Status::ok();
+}
+
+void ReplicationManager::start_next_transfer() {
+  while (in_flight_ < options_.max_concurrent_transfers && !queue_.empty()) {
+    const PendingTransfer transfer = queue_.front();
+    queue_.erase(queue_.begin());
+
+    auto src = catalog_.best_source(transfer.file, transfer.dst);
+    if (!src.is_ok()) {
+      active_.erase({transfer.file, transfer.dst});
+      continue;
+    }
+    auto size = grid_.site(src.value()).file_size(transfer.file);
+    if (!size.is_ok()) {
+      active_.erase({transfer.file, transfer.dst});
+      continue;
+    }
+
+    ++in_flight_;
+    const std::uint64_t bytes = size.value();
+    auto finish = [this, transfer, bytes] {
+      --in_flight_;
+      active_.erase({transfer.file, transfer.dst});
+      grid_.site(transfer.dst).store_file(transfer.file, bytes);
+      catalog_.register_replica(transfer.file, transfer.dst, sim_.now());
+      ++stats_.replicas_created;
+      stats_.bytes_transferred += bytes;
+      GAE_LOG(Info) << "replicated " << transfer.file << " to " << transfer.dst;
+      start_next_transfer();
+    };
+    if (network_) {
+      auto started = network_->start_transfer(src.value(), transfer.dst, bytes, finish);
+      if (!started.is_ok()) {
+        --in_flight_;
+        active_.erase({transfer.file, transfer.dst});
+        continue;
+      }
+    } else {
+      const SimDuration duration =
+          grid_.transfer_time(src.value(), transfer.dst, size.value());
+      sim_.schedule_after(duration, finish);
+    }
+  }
+}
+
+}  // namespace gae::replica

@@ -1,0 +1,86 @@
+// Demand-driven replication manager.
+//
+// Watches execution services: every time a task stages a remote input, the
+// access is recorded against (file, destination site). Files that keep
+// being pulled to a site they do not live on get replicated there in the
+// background, so future jobs of the same kind start without WAN staging —
+// exactly the scheduler/transfer-estimator interplay the paper's data-access
+// story needs a substrate for.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/execution_service.h"
+#include "replica/catalog.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace gae::replica {
+
+struct ReplicationOptions {
+  /// Remote accesses of (file, site) before a background replica is made.
+  int hot_access_threshold = 3;
+  /// Background transfers in flight at once.
+  int max_concurrent_transfers = 2;
+};
+
+struct ReplicationStats {
+  std::size_t replicas_created = 0;
+  std::uint64_t bytes_transferred = 0;
+  std::size_t accesses_recorded = 0;
+};
+
+class ReplicationManager {
+ public:
+  ReplicationManager(sim::Simulation& sim, sim::Grid& grid, ReplicaCatalog& catalog,
+                     ReplicationOptions options = {});
+  ~ReplicationManager();
+
+  ReplicationManager(const ReplicationManager&) = delete;
+  ReplicationManager& operator=(const ReplicationManager&) = delete;
+
+  /// Watches a site's execution service for staging transitions.
+  void watch(exec::ExecutionService& service);
+
+  /// Routes background replication through the shared network manager so it
+  /// contends with staging traffic. Null = uncontended analytic transfers.
+  void use_network(sim::NetworkManager* network) { network_ = network; }
+
+  /// Records one access of `file` from `dst_site`; may trigger replication.
+  void record_access(const std::string& file, const std::string& dst_site);
+
+  /// Explicitly replicates a file to a site (background transfer in virtual
+  /// time). ALREADY_EXISTS if the site already holds it.
+  Status replicate(const std::string& file, const std::string& dst_site);
+
+  const ReplicationStats& stats() const { return stats_; }
+  int transfers_in_flight() const { return in_flight_; }
+
+ private:
+  void start_next_transfer();
+
+  struct PendingTransfer {
+    std::string file;
+    std::string dst;
+  };
+
+  sim::Simulation& sim_;
+  sim::Grid& grid_;
+  sim::NetworkManager* network_ = nullptr;
+  ReplicaCatalog& catalog_;
+  ReplicationOptions options_;
+  std::map<std::pair<std::string, std::string>, int> access_counts_;
+  std::set<std::pair<std::string, std::string>> active_;  // queued or in flight
+  std::vector<PendingTransfer> queue_;
+  int in_flight_ = 0;
+  ReplicationStats stats_;
+  std::vector<std::pair<exec::ExecutionService*, int>> subscriptions_;
+};
+
+}  // namespace gae::replica

@@ -1,0 +1,88 @@
+#include "rpc/client.h"
+
+#include "rpc/http.h"
+#include "rpc/jsonrpc.h"
+#include "rpc/server.h"  // fault-code <-> StatusCode mapping
+#include "rpc/xmlrpc.h"
+
+namespace gae::rpc {
+
+RpcClient::RpcClient(std::string host, std::uint16_t port, Protocol protocol)
+    : host_(std::move(host)), port_(port), protocol_(protocol) {}
+
+Status RpcClient::ensure_connected() {
+  if (connected_) return Status::ok();
+  auto stream = net::TcpStream::connect(host_, port_);
+  if (!stream.is_ok()) return stream.status();
+  stream_ = std::move(stream).value();
+  stream_.set_no_delay(true);
+  connected_ = true;
+  return Status::ok();
+}
+
+void RpcClient::disconnect() {
+  stream_.close();
+  connected_ = false;
+}
+
+Result<Value> RpcClient::call(const std::string& method, const Array& params) {
+  const bool was_connected = connected_;
+  auto result = call_once(method, params);
+  if (result.is_ok() || result.status().code() != StatusCode::kUnavailable || !was_connected) {
+    return result;
+  }
+  // The cached keep-alive connection may have been closed by the server;
+  // reconnect once and retry.
+  disconnect();
+  return call_once(method, params);
+}
+
+Result<Value> RpcClient::call_once(const std::string& method, const Array& params) {
+  const Status conn = ensure_connected();
+  if (!conn.is_ok()) return conn;
+
+  http::Request req;
+  req.method = "POST";
+  req.path = "/rpc";
+  req.headers["connection"] = "keep-alive";
+  if (!session_token_.empty()) req.headers["x-clarens-session"] = session_token_;
+
+  if (protocol_ == Protocol::kJsonRpc) {
+    req.headers["content-type"] = "application/json";
+    req.body = jsonrpc::encode_call(method, params, next_id_++);
+  } else {
+    req.headers["content-type"] = "text/xml";
+    req.body = xmlrpc::encode_call(method, params);
+  }
+
+  Status ws = http::write_request(stream_, req);
+  if (!ws.is_ok()) {
+    disconnect();
+    return ws;
+  }
+  auto respr = http::read_response(stream_);
+  if (!respr.is_ok()) {
+    disconnect();
+    return respr.status();
+  }
+  const http::Response resp = std::move(respr).value();
+
+  if (protocol_ == Protocol::kJsonRpc) {
+    auto decoded = jsonrpc::decode_response(resp.body);
+    if (!decoded.is_ok()) return decoded.status();
+    if (decoded.value().is_fault) {
+      return Status(fault_code_to_status(decoded.value().fault_code),
+                    decoded.value().fault_string);
+    }
+    return std::move(decoded).value().result;
+  }
+  auto decoded = xmlrpc::decode_response(resp.body);
+  if (!decoded.is_ok()) return decoded.status();
+  if (decoded.value().is_fault) {
+    return Status(fault_code_to_status(decoded.value().fault_code),
+                  decoded.value().fault_string);
+  }
+  return std::move(decoded).value().result;
+}
+
+}  // namespace gae::rpc

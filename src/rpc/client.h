@@ -1,0 +1,45 @@
+// Blocking RPC client with a persistent keep-alive connection and one
+// automatic reconnect. Thread-compatible: guard with external synchronisation
+// or use one client per thread (the fig-6 benchmark does the latter).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "rpc/value.h"
+
+namespace gae::rpc {
+
+enum class Protocol { kXmlRpc, kJsonRpc };
+
+class RpcClient {
+ public:
+  RpcClient(std::string host, std::uint16_t port, Protocol protocol = Protocol::kXmlRpc);
+
+  /// Session token sent as x-clarens-session on every call ("" = none).
+  void set_session_token(std::string token) { session_token_ = std::move(token); }
+  const std::string& session_token() const { return session_token_; }
+
+  /// Invokes `method`. RPC faults come back as the originating StatusCode;
+  /// transport failures as UNAVAILABLE.
+  Result<Value> call(const std::string& method, const Array& params = {});
+
+  /// Drops the cached connection (next call reconnects).
+  void disconnect();
+
+ private:
+  Result<Value> call_once(const std::string& method, const Array& params);
+  Status ensure_connected();
+
+  std::string host_;
+  std::uint16_t port_;
+  Protocol protocol_;
+  std::string session_token_;
+  net::TcpStream stream_;
+  bool connected_ = false;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace gae::rpc

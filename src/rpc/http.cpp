@@ -1,0 +1,187 @@
+#include "rpc/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace gae::rpc::http {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Reads from the stream until "\r\n\r\n"; returns header block + any body
+/// bytes already pulled off the socket.
+struct HeadAndSpill {
+  std::string head;
+  std::string spill;
+};
+
+Result<HeadAndSpill> read_head(net::TcpStream& stream) {
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    const auto marker = buf.find("\r\n\r\n");
+    if (marker != std::string::npos) {
+      HeadAndSpill out;
+      out.head = buf.substr(0, marker);
+      out.spill = buf.substr(marker + 4);
+      return out;
+    }
+    auto r = stream.read_some(chunk, sizeof(chunk));
+    if (!r.is_ok()) return r.status();
+    if (r.value() == 0) {
+      if (buf.empty()) return unavailable_error("connection closed");
+      return invalid_argument_error("http: truncated header block");
+    }
+    buf.append(chunk, r.value());
+    if (buf.size() > 1 << 20) return invalid_argument_error("http: header block too large");
+  }
+}
+
+Status parse_headers(std::istringstream& lines, std::map<std::string, std::string>& out) {
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) return invalid_argument_error("http: malformed header: " + line);
+    out[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+  }
+  return Status::ok();
+}
+
+Result<std::string> read_body(net::TcpStream& stream, std::string spill,
+                              const std::map<std::string, std::string>& headers) {
+  std::size_t content_length = 0;
+  auto it = headers.find("content-length");
+  if (it != headers.end()) {
+    try {
+      content_length = static_cast<std::size_t>(std::stoull(it->second));
+    } catch (...) {
+      return invalid_argument_error("http: bad content-length: " + it->second);
+    }
+  }
+  if (content_length > (64u << 20)) return invalid_argument_error("http: body too large");
+  if (spill.size() > content_length) {
+    // Pipelined extra bytes are unsupported by this minimal framing.
+    return invalid_argument_error("http: unexpected bytes after body");
+  }
+  std::string body = std::move(spill);
+  const std::size_t remaining = content_length - body.size();
+  if (remaining > 0) {
+    std::string rest(remaining, '\0');
+    const Status s = stream.read_exact(rest.data(), remaining);
+    if (!s.is_ok()) return s;
+    body += rest;
+  }
+  return body;
+}
+
+}  // namespace
+
+std::string Request::header(const std::string& key, const std::string& fallback) const {
+  auto it = headers.find(to_lower(key));
+  return it == headers.end() ? fallback : it->second;
+}
+
+bool Request::keep_alive() const {
+  return to_lower(header("connection", "keep-alive")) != "close";
+}
+
+std::string Response::header(const std::string& key, const std::string& fallback) const {
+  auto it = headers.find(to_lower(key));
+  return it == headers.end() ? fallback : it->second;
+}
+
+Result<Request> read_request(net::TcpStream& stream) {
+  auto head = read_head(stream);
+  if (!head.is_ok()) return head.status();
+
+  std::istringstream lines(head.value().head);
+  std::string request_line;
+  if (!std::getline(lines, request_line)) return invalid_argument_error("http: empty request");
+  if (!request_line.empty() && request_line.back() == '\r') request_line.pop_back();
+
+  Request req;
+  std::istringstream rl(request_line);
+  std::string version;
+  if (!(rl >> req.method >> req.path >> version)) {
+    return invalid_argument_error("http: malformed request line: " + request_line);
+  }
+  const Status hs = parse_headers(lines, req.headers);
+  if (!hs.is_ok()) return hs;
+
+  auto body = read_body(stream, std::move(head.value().spill), req.headers);
+  if (!body.is_ok()) return body.status();
+  req.body = std::move(body).value();
+  return req;
+}
+
+Status write_request(net::TcpStream& stream, const Request& req) {
+  std::ostringstream out;
+  out << req.method << ' ' << req.path << " HTTP/1.1\r\n";
+  bool have_host = false, have_len = false;
+  for (const auto& [k, v] : req.headers) {
+    out << k << ": " << v << "\r\n";
+    if (k == "host") have_host = true;
+    if (k == "content-length") have_len = true;
+  }
+  if (!have_host) out << "host: localhost\r\n";
+  if (!have_len) out << "content-length: " << req.body.size() << "\r\n";
+  out << "\r\n" << req.body;
+  return stream.write_all(out.str());
+}
+
+Result<Response> read_response(net::TcpStream& stream) {
+  auto head = read_head(stream);
+  if (!head.is_ok()) return head.status();
+
+  std::istringstream lines(head.value().head);
+  std::string status_line;
+  if (!std::getline(lines, status_line)) return invalid_argument_error("http: empty response");
+  if (!status_line.empty() && status_line.back() == '\r') status_line.pop_back();
+
+  Response resp;
+  std::istringstream sl(status_line);
+  std::string version;
+  if (!(sl >> version >> resp.status_code)) {
+    return invalid_argument_error("http: malformed status line: " + status_line);
+  }
+  std::getline(sl, resp.reason);
+  resp.reason = trim(resp.reason);
+
+  const Status hs = parse_headers(lines, resp.headers);
+  if (!hs.is_ok()) return hs;
+
+  auto body = read_body(stream, std::move(head.value().spill), resp.headers);
+  if (!body.is_ok()) return body.status();
+  resp.body = std::move(body).value();
+  return resp;
+}
+
+Status write_response(net::TcpStream& stream, const Response& resp, bool keep_alive) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status_code << ' ' << resp.reason << "\r\n";
+  for (const auto& [k, v] : resp.headers) {
+    if (k == "content-length" || k == "connection") continue;
+    out << k << ": " << v << "\r\n";
+  }
+  out << "connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n";
+  out << "content-length: " << resp.body.size() << "\r\n\r\n";
+  out << resp.body;
+  return stream.write_all(out.str());
+}
+
+}  // namespace gae::rpc::http

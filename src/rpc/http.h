@@ -1,0 +1,42 @@
+// Minimal HTTP/1.1 framing: enough for POST-based RPC with keep-alive and
+// Content-Length bodies. Not a general web server.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace gae::rpc::http {
+
+struct Request {
+  std::string method = "POST";
+  std::string path = "/";
+  std::map<std::string, std::string> headers;  // keys lower-cased
+  std::string body;
+
+  std::string header(const std::string& key, const std::string& fallback = "") const;
+  bool keep_alive() const;
+};
+
+struct Response {
+  int status_code = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;  // keys lower-cased
+  std::string body;
+
+  std::string header(const std::string& key, const std::string& fallback = "") const;
+};
+
+/// Reads one request from the stream. UNAVAILABLE on clean EOF before any
+/// bytes (peer closed a kept-alive connection), INVALID_ARGUMENT on garbage.
+Result<Request> read_request(net::TcpStream& stream);
+
+Status write_request(net::TcpStream& stream, const Request& req);
+
+Result<Response> read_response(net::TcpStream& stream);
+
+Status write_response(net::TcpStream& stream, const Response& resp, bool keep_alive);
+
+}  // namespace gae::rpc::http

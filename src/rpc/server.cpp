@@ -1,0 +1,180 @@
+#include "rpc/server.h"
+
+#include <sys/socket.h>
+
+#include <stdexcept>
+
+#include "common/log.h"
+#include "rpc/http.h"
+#include "rpc/jsonrpc.h"
+#include "rpc/xmlrpc.h"
+
+namespace gae::rpc {
+
+void Dispatcher::register_method(const std::string& name, Method method) {
+  methods_[name] = std::move(method);
+}
+
+bool Dispatcher::has_method(const std::string& name) const {
+  return methods_.count(name) != 0;
+}
+
+std::vector<std::string> Dispatcher::method_names() const {
+  std::vector<std::string> names;
+  names.reserve(methods_.size());
+  for (const auto& [name, _] : methods_) names.push_back(name);
+  return names;
+}
+
+void Dispatcher::add_interceptor(Interceptor interceptor) {
+  interceptors_.push_back(std::move(interceptor));
+}
+
+Result<Value> Dispatcher::dispatch(const std::string& method, const Array& params,
+                                   const CallContext& ctx) const {
+  auto it = methods_.find(method);
+  if (it == methods_.end()) return not_found_error("no such method: " + method);
+  for (const auto& interceptor : interceptors_) {
+    const Status s = interceptor(method, ctx);
+    if (!s.is_ok()) return s;
+  }
+  try {
+    return it->second(params, ctx);
+  } catch (const std::exception& e) {
+    return invalid_argument_error(std::string("handler error in ") + method + ": " + e.what());
+  }
+}
+
+int status_to_fault_code(StatusCode code) { return 100 + static_cast<int>(code); }
+
+StatusCode fault_code_to_status(int fault_code) {
+  const int raw = fault_code - 100;
+  if (raw < 0 || raw > static_cast<int>(StatusCode::kInternal)) return StatusCode::kInternal;
+  return static_cast<StatusCode>(raw);
+}
+
+RpcServer::RpcServer(std::shared_ptr<Dispatcher> dispatcher, ServerOptions options)
+    : dispatcher_(std::move(dispatcher)), options_(options) {}
+
+RpcServer::~RpcServer() { stop(); }
+
+Result<std::uint16_t> RpcServer::start() {
+  auto listener = net::TcpListener::bind(options_.port);
+  if (!listener.is_ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return port_;
+}
+
+void RpcServer::stop() {
+  if (!running_.exchange(false)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    // Kick workers out of blocking recv on kept-alive connections.
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (int fd : active_conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (pool_) pool_->shutdown(false);
+}
+
+void RpcServer::register_connection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  active_conns_.insert(fd);
+}
+
+void RpcServer::unregister_connection(int fd) {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  active_conns_.erase(fd);
+}
+
+void RpcServer::accept_loop() {
+  while (running_.load()) {
+    auto stream = listener_.accept();
+    if (!stream.is_ok()) {
+      if (running_.load()) {
+        GAE_LOG(Warn) << "rpc accept failed: " << stream.status();
+      }
+      return;
+    }
+    auto conn = std::make_shared<net::TcpStream>(std::move(stream).value());
+    const bool ok = pool_->submit([this, conn]() mutable {
+      serve_connection(std::move(*conn));
+    });
+    if (!ok) return;
+  }
+}
+
+void RpcServer::serve_connection(net::TcpStream stream) {
+  stream.set_no_delay(true);
+  register_connection(stream.fd());
+  // Unregister before the stream's destructor closes the fd, so stop()
+  // never calls shutdown() on an already-recycled descriptor.
+  struct Deregister {
+    RpcServer* server;
+    int fd;
+    ~Deregister() { server->unregister_connection(fd); }
+  } deregister{this, stream.fd()};
+
+  while (running_.load()) {
+    auto reqr = http::read_request(stream);
+    if (!reqr.is_ok()) {
+      // Clean close of a kept-alive connection is routine; anything else is
+      // worth a log line.
+      if (reqr.status().code() != StatusCode::kUnavailable) {
+        GAE_LOG(Debug) << "rpc request framing error: " << reqr.status();
+      }
+      return;
+    }
+    const http::Request req = std::move(reqr).value();
+    const bool keep_alive = req.keep_alive();
+
+    const std::string content_type = req.header("content-type", "text/xml");
+    const bool is_json = content_type.find("json") != std::string::npos;
+
+    CallContext ctx;
+    ctx.session_token = req.header("x-clarens-session");
+    ctx.protocol = is_json ? "jsonrpc" : "xmlrpc";
+
+    http::Response resp;
+    resp.headers["content-type"] = is_json ? "application/json" : "text/xml";
+
+    if (is_json) {
+      auto call = jsonrpc::decode_call(req.body);
+      if (!call.is_ok()) {
+        resp.body = jsonrpc::encode_fault(status_to_fault_code(call.status().code()),
+                                          call.status().message(), 0);
+      } else {
+        auto result = dispatcher_->dispatch(call.value().method, call.value().params, ctx);
+        resp.body = result.is_ok()
+                        ? jsonrpc::encode_response(result.value(), call.value().id)
+                        : jsonrpc::encode_fault(status_to_fault_code(result.status().code()),
+                                                result.status().message(), call.value().id);
+      }
+    } else {
+      auto call = xmlrpc::decode_call(req.body);
+      if (!call.is_ok()) {
+        resp.body = xmlrpc::encode_fault(status_to_fault_code(call.status().code()),
+                                         call.status().message());
+      } else {
+        auto result = dispatcher_->dispatch(call.value().method, call.value().params, ctx);
+        resp.body = result.is_ok()
+                        ? xmlrpc::encode_response(result.value())
+                        : xmlrpc::encode_fault(status_to_fault_code(result.status().code()),
+                                               result.status().message());
+      }
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!http::write_response(stream, resp, keep_alive).is_ok()) return;
+    if (!keep_alive) return;
+  }
+}
+
+}  // namespace gae::rpc

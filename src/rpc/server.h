@@ -1,0 +1,114 @@
+// RPC server: accepts TCP connections, frames HTTP, decodes XML-RPC or
+// JSON-RPC by content type, and dispatches to a registered handler set.
+//
+// Concurrency model: one acceptor thread plus a fixed worker pool; each live
+// connection occupies a worker for its keep-alive duration. This mirrors the
+// JClarens servlet-container deployment the paper benchmarked in fig. 6 —
+// response time stays flat until concurrent clients exceed the worker count,
+// then grows as connections queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/socket.h"
+#include "rpc/value.h"
+
+namespace gae::rpc {
+
+/// Per-call metadata available to handlers.
+struct CallContext {
+  /// Value of the x-clarens-session header ("" when absent).
+  std::string session_token;
+  /// "xmlrpc" or "jsonrpc".
+  std::string protocol;
+};
+
+/// A method implementation. Return a Status error to send an RPC fault.
+using Method = std::function<Result<Value>(const Array& params, const CallContext& ctx)>;
+
+/// Routes calls to methods; shared by the live server and the in-process
+/// transport used under simulation.
+class Dispatcher {
+ public:
+  /// Registers `name` (e.g. "jobmon.status"). Last registration wins.
+  void register_method(const std::string& name, Method method);
+
+  bool has_method(const std::string& name) const;
+  std::vector<std::string> method_names() const;
+
+  /// Invokes a method; NOT_FOUND for unknown names, INVALID_ARGUMENT when a
+  /// handler throws (bad parameter shapes).
+  Result<Value> dispatch(const std::string& method, const Array& params,
+                         const CallContext& ctx) const;
+
+  /// Middleware: runs before every dispatch; an error short-circuits.
+  using Interceptor = std::function<Status(const std::string& method, const CallContext& ctx)>;
+  void add_interceptor(Interceptor interceptor);
+
+ private:
+  std::map<std::string, Method> methods_;
+  std::vector<Interceptor> interceptors_;
+};
+
+/// Converts service Status codes to wire fault codes and back, so a client
+/// sees the same StatusCode the handler returned.
+int status_to_fault_code(StatusCode code);
+StatusCode fault_code_to_status(int fault_code);
+
+struct ServerOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral
+  std::size_t num_workers = 8;
+};
+
+class RpcServer {
+ public:
+  RpcServer(std::shared_ptr<Dispatcher> dispatcher, ServerOptions options);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds and starts the acceptor; returns the bound port.
+  Result<std::uint16_t> start();
+
+  /// Stops accepting and joins all threads. Idempotent.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+
+  /// Total requests served (all connections).
+  std::uint64_t requests_served() const { return requests_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(net::TcpStream stream);
+
+  /// Live-connection registry so stop() can unblock workers parked in recv
+  /// on kept-alive connections.
+  void register_connection(int fd);
+  void unregister_connection(int fd);
+
+  std::shared_ptr<Dispatcher> dispatcher_;
+  ServerOptions options_;
+  net::TcpListener listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::uint16_t port_ = 0;
+  std::mutex conns_mutex_;
+  std::set<int> active_conns_;
+};
+
+}  // namespace gae::rpc

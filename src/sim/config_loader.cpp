@@ -1,0 +1,174 @@
+#include "sim/config_loader.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gae::sim {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(s);
+  while (std::getline(in, item, delim)) out.push_back(item);
+  return out;
+}
+
+Result<std::vector<double>> parse_numbers(const std::string& csv, std::size_t expected) {
+  const auto parts = split(csv, ',');
+  if (parts.size() != expected) {
+    return invalid_argument_error("expected " + std::to_string(expected) +
+                                  " comma-separated numbers, got '" + csv + "'");
+  }
+  std::vector<double> out;
+  for (const auto& p : parts) {
+    try {
+      out.push_back(std::stod(p));
+    } catch (...) {
+      return invalid_argument_error("bad number '" + p + "' in '" + csv + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<LoadProfile>> load_profile_from_spec(const std::string& spec) {
+  if (spec.empty() || spec == "none") {
+    return std::shared_ptr<LoadProfile>(std::make_shared<ConstantLoad>(0.0));
+  }
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string args = colon == std::string::npos ? "" : spec.substr(colon + 1);
+
+  if (kind == "constant") {
+    auto nums = parse_numbers(args, 1);
+    if (!nums.is_ok()) return nums.status();
+    return std::shared_ptr<LoadProfile>(std::make_shared<ConstantLoad>(nums.value()[0]));
+  }
+  if (kind == "periodic") {
+    auto nums = parse_numbers(args, 4);
+    if (!nums.is_ok()) return nums.status();
+    const auto& v = nums.value();
+    if (v[2] <= 0 || v[3] <= 0) {
+      return invalid_argument_error("periodic load durations must be positive: " + spec);
+    }
+    return std::shared_ptr<LoadProfile>(std::make_shared<PeriodicLoad>(
+        v[0], v[1], from_seconds(v[2]), from_seconds(v[3])));
+  }
+  if (kind == "walk") {
+    auto nums = parse_numbers(args, 5);
+    if (!nums.is_ok()) return nums.status();
+    const auto& v = nums.value();
+    if (v[2] <= 0 || v[3] <= 0) {
+      return invalid_argument_error("walk segment/horizon must be positive: " + spec);
+    }
+    return std::shared_ptr<LoadProfile>(
+        make_random_walk_load(Rng(static_cast<std::uint64_t>(v[4])), v[0], v[1],
+                              from_seconds(v[2]), from_seconds(v[3])));
+  }
+  return invalid_argument_error("unknown load profile kind: " + spec);
+}
+
+Status grid_from_config(const Config& config, Grid& grid) {
+  Link default_link;
+  if (config.has("defaults.bandwidth_mbps")) {
+    default_link.bandwidth_bytes_per_sec =
+        config.get_double("defaults.bandwidth_mbps", 100) * 1e6 / 8.0;
+  }
+  if (config.has("defaults.latency_ms")) {
+    default_link.latency = from_millis(config.get_double("defaults.latency_ms", 0));
+  }
+  grid.set_default_link(default_link);
+
+  for (const auto& [key, value] : config.values()) {
+    // --- Sites: "site:NAME.node.K" and "site:NAME.storage.FILE".
+    if (key.rfind("site:", 0) == 0) {
+      const auto dot = key.find('.');
+      if (dot == std::string::npos) {
+        return invalid_argument_error("malformed site key: " + key);
+      }
+      const std::string site_name = key.substr(5, dot - 5);
+      const std::string attr = key.substr(dot + 1);
+      Site& site = grid.add_site(site_name);
+
+      if (attr.rfind("node.", 0) == 0) {
+        double speed = 1.0;
+        std::string load_spec;
+        std::istringstream tokens(value);
+        std::string token;
+        while (tokens >> token) {
+          const auto eq = token.find('=');
+          if (eq == std::string::npos) {
+            return invalid_argument_error("node attribute needs key=value: " + value);
+          }
+          const std::string k = token.substr(0, eq);
+          const std::string v = token.substr(eq + 1);
+          if (k == "speed") {
+            try {
+              speed = std::stod(v);
+            } catch (...) {
+              return invalid_argument_error("bad speed '" + v + "' in " + key);
+            }
+          } else if (k == "load") {
+            load_spec = v;
+          } else {
+            return invalid_argument_error("unknown node attribute '" + k + "' in " + key);
+          }
+        }
+        auto profile = load_profile_from_spec(load_spec);
+        if (!profile.is_ok()) return profile.status();
+        if (speed <= 0) return invalid_argument_error("node speed must be > 0 in " + key);
+        site.add_node(site_name + "-" + attr.substr(5), speed, profile.value());
+      } else if (attr.rfind("storage.", 0) == 0) {
+        const std::string file = attr.substr(8);
+        try {
+          site.store_file(file, static_cast<std::uint64_t>(std::stoull(value)));
+        } catch (...) {
+          return invalid_argument_error("bad storage size '" + value + "' for " + key);
+        }
+      } else {
+        return invalid_argument_error("unknown site attribute: " + key);
+      }
+      continue;
+    }
+
+    // --- Links: "link:A->B.bandwidth_mbps" / ".latency_ms".
+    if (key.rfind("link:", 0) == 0) {
+      const auto dot = key.find('.');
+      if (dot == std::string::npos) return invalid_argument_error("malformed link key: " + key);
+      const std::string pair = key.substr(5, dot - 5);
+      const std::string attr = key.substr(dot + 1);
+      const auto arrow = pair.find("->");
+      if (arrow == std::string::npos) {
+        return invalid_argument_error("link name must be A->B: " + key);
+      }
+      const std::string a = pair.substr(0, arrow);
+      const std::string b = pair.substr(arrow + 2);
+      // Ensure both endpoints exist even if declared storage/node-less.
+      grid.add_site(a);
+      grid.add_site(b);
+      Link link = grid.link(a, b);
+      try {
+        if (attr == "bandwidth_mbps") {
+          link.bandwidth_bytes_per_sec = std::stod(value) * 1e6 / 8.0;
+        } else if (attr == "latency_ms") {
+          link.latency = from_millis(std::stod(value));
+        } else {
+          return invalid_argument_error("unknown link attribute: " + key);
+        }
+      } catch (...) {
+        return invalid_argument_error("bad link value '" + value + "' for " + key);
+      }
+      grid.set_link(a, b, link);
+      continue;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace gae::sim

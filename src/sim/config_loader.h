@@ -1,0 +1,35 @@
+// Builds a grid topology from a Config, so examples, benches and deployments
+// can describe sites/nodes/links in a text file instead of code.
+//
+//   [defaults]
+//   bandwidth_mbps = 100
+//   latency_ms = 20
+//
+//   [site:cern]
+//   node.0 = speed=1.0 load=constant:0.5
+//   node.1 = speed=1.2 load=periodic:0.1,0.8,600,600
+//   node.2 = speed=0.9 load=walk:0.0,0.9,120,86400,7
+//   storage.run2026.root = 20000000000
+//
+//   [link:cern->fnal]        ; directed ("<->" in the name is not supported;
+//   bandwidth_mbps = 200     ;  declare both directions)
+//   latency_ms = 15
+//
+// Load specs: constant:L | periodic:LO,HI,ON_S,OFF_S | walk:LO,HI,SEG_S,HORIZON_S,SEED
+// | none.
+#pragma once
+
+#include "common/config.h"
+#include "common/status.h"
+#include "sim/grid.h"
+
+namespace gae::sim {
+
+/// Parses a load-profile spec string (see header comment). Empty or "none"
+/// yields an idle profile.
+Result<std::shared_ptr<LoadProfile>> load_profile_from_spec(const std::string& spec);
+
+/// Populates `grid` from the config. INVALID_ARGUMENT on malformed entries.
+Status grid_from_config(const Config& config, Grid& grid);
+
+}  // namespace gae::sim

@@ -1,0 +1,55 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace gae::sim {
+
+EventId Simulation::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now()) t = now();
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // Lazy deletion: remember the id; skip it when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    // priority_queue has no non-const top-move; copy of the function is the
+    // cost of lazy deletion, acceptable at this scale.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    clock_.advance_to(ev.time);
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  clock_.advance_to(t);
+}
+
+std::uint64_t Simulation::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace gae::sim

@@ -1,0 +1,94 @@
+#include "sim/grid.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace gae::sim {
+
+Node::Node(std::string name, double speed_factor, std::shared_ptr<LoadProfile> load)
+    : name_(std::move(name)), speed_factor_(speed_factor), load_(std::move(load)) {
+  if (speed_factor_ <= 0) throw std::invalid_argument("node speed_factor must be > 0");
+  if (!load_) load_ = std::make_shared<ConstantLoad>(0.0);
+}
+
+Node& Site::add_node(const std::string& node_name, double speed_factor,
+                     std::shared_ptr<LoadProfile> load) {
+  nodes_.push_back(std::make_unique<Node>(node_name, speed_factor, std::move(load)));
+  return *nodes_.back();
+}
+
+Result<std::uint64_t> Site::file_size(const std::string& file) const {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return not_found_error("file " + file + " not stored at site " + name_);
+  }
+  return it->second;
+}
+
+Grid::Grid() = default;
+
+Site& Grid::add_site(const std::string& name) {
+  auto [it, inserted] = sites_.emplace(name, nullptr);
+  if (inserted) it->second = std::make_unique<Site>(name);
+  return *it->second;
+}
+
+Site& Grid::site(const std::string& name) {
+  auto it = sites_.find(name);
+  if (it == sites_.end()) throw std::out_of_range("unknown site: " + name);
+  return *it->second;
+}
+
+const Site& Grid::site(const std::string& name) const {
+  auto it = sites_.find(name);
+  if (it == sites_.end()) throw std::out_of_range("unknown site: " + name);
+  return *it->second;
+}
+
+std::vector<std::string> Grid::site_names() const {
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, _] : sites_) names.push_back(name);
+  return names;
+}
+
+void Grid::set_link(const std::string& a, const std::string& b, Link link) {
+  links_[{a, b}] = link;
+}
+
+void Grid::set_symmetric_link(const std::string& a, const std::string& b, Link link) {
+  set_link(a, b, link);
+  set_link(b, a, link);
+}
+
+Link Grid::link(const std::string& a, const std::string& b) const {
+  auto it = links_.find({a, b});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+SimDuration Grid::transfer_time(const std::string& a, const std::string& b,
+                                std::uint64_t bytes) const {
+  if (a == b) return 0;
+  const Link l = link(a, b);
+  if (l.bandwidth_bytes_per_sec <= 0) return kSimTimeNever;
+  const double seconds = static_cast<double>(bytes) / l.bandwidth_bytes_per_sec;
+  return l.latency + from_seconds(seconds);
+}
+
+Result<std::string> Grid::closest_replica(const std::string& file, const std::string& dst,
+                                          const std::string& except) const {
+  std::string best;
+  SimDuration best_time = std::numeric_limits<SimDuration>::max();
+  for (const auto& [name, site] : sites_) {
+    if (name == except || !site->has_file(file)) continue;
+    const SimDuration t = transfer_time(name, dst, site->file_size(file).value());
+    if (t != kSimTimeNever && t < best_time) {
+      best_time = t;
+      best = name;
+    }
+  }
+  if (best.empty()) return not_found_error("no replica of " + file);
+  return best;
+}
+
+}  // namespace gae::sim

@@ -1,0 +1,111 @@
+// Passive grid topology model: sites containing worker nodes and storage
+// elements, connected by point-to-point network links. The execution service
+// and transfer-time estimator consume this; the model itself holds no
+// simulation state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_types.h"
+#include "sim/load.h"
+
+namespace gae::sim {
+
+/// One worker node (one Condor slot in the paper's terms).
+class Node {
+ public:
+  Node(std::string name, double speed_factor, std::shared_ptr<LoadProfile> load);
+
+  const std::string& name() const { return name_; }
+
+  /// Relative CPU speed (1.0 = reference machine).
+  double speed_factor() const { return speed_factor_; }
+
+  double background_load(SimTime t) const { return load_->load_at(t); }
+  SimTime next_load_change(SimTime t) const { return load_->next_change(t); }
+
+  /// CPU-seconds of job work completed per second of wall time at t:
+  /// speed_factor * (1 - background_load).
+  double effective_rate(SimTime t) const {
+    return speed_factor_ * (1.0 - load_->load_at(t));
+  }
+
+ private:
+  std::string name_;
+  double speed_factor_;
+  std::shared_ptr<LoadProfile> load_;
+};
+
+/// A grid site: worker nodes plus a storage element holding named files.
+class Site {
+ public:
+  explicit Site(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Node& add_node(const std::string& node_name, double speed_factor,
+                 std::shared_ptr<LoadProfile> load);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  Node& node(std::size_t i) { return *nodes_[i]; }
+  const Node& node(std::size_t i) const { return *nodes_[i]; }
+
+  /// Registers (or resizes) a file on this site's storage element.
+  void store_file(const std::string& file, std::uint64_t bytes) { files_[file] = bytes; }
+  bool has_file(const std::string& file) const { return files_.count(file) != 0; }
+  /// NOT_FOUND if the file is not stored here.
+  Result<std::uint64_t> file_size(const std::string& file) const;
+  const std::map<std::string, std::uint64_t>& files() const { return files_; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // stable addresses
+  std::map<std::string, std::uint64_t> files_;
+};
+
+/// Directed link capacity between two sites.
+struct Link {
+  double bandwidth_bytes_per_sec = 125e6;  // ~1 Gbit/s
+  SimDuration latency = 0;
+};
+
+class Grid {
+ public:
+  Grid();
+
+  Site& add_site(const std::string& name);
+  bool has_site(const std::string& name) const { return sites_.count(name) != 0; }
+  /// Throws std::out_of_range for unknown sites (programming error).
+  Site& site(const std::string& name);
+  const Site& site(const std::string& name) const;
+  std::vector<std::string> site_names() const;
+
+  /// Default link used for site pairs without an explicit entry.
+  void set_default_link(Link link) { default_link_ = link; }
+  /// Sets the directed link a -> b.
+  void set_link(const std::string& a, const std::string& b, Link link);
+  /// Sets both directions.
+  void set_symmetric_link(const std::string& a, const std::string& b, Link link);
+  Link link(const std::string& a, const std::string& b) const;
+
+  /// Virtual time to move `bytes` from site a to site b. Zero for a == b.
+  SimDuration transfer_time(const std::string& a, const std::string& b,
+                            std::uint64_t bytes) const;
+
+  /// Site (other than `except`) holding `file` with the fastest transfer to
+  /// `dst`; NOT_FOUND when nobody has it.
+  Result<std::string> closest_replica(const std::string& file, const std::string& dst,
+                                      const std::string& except = "") const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Site>> sites_;
+  std::map<std::pair<std::string, std::string>, Link> links_;
+  Link default_link_;
+};
+
+}  // namespace gae::sim

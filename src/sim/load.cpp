@@ -1,0 +1,99 @@
+#include "sim/load.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gae::sim {
+
+namespace {
+double clamp_load(double x) { return std::clamp(x, 0.0, 0.999); }
+}  // namespace
+
+ConstantLoad::ConstantLoad(double load) : load_(clamp_load(load)) {}
+
+StepLoad::StepLoad(double initial, std::vector<Step> steps)
+    : initial_(clamp_load(initial)), steps_(std::move(steps)) {
+  std::sort(steps_.begin(), steps_.end(),
+            [](const Step& a, const Step& b) { return a.at < b.at; });
+  for (auto& s : steps_) s.load = clamp_load(s.load);
+}
+
+double StepLoad::load_at(SimTime t) const {
+  double load = initial_;
+  for (const auto& s : steps_) {
+    if (s.at > t) break;
+    load = s.load;
+  }
+  return load;
+}
+
+SimTime StepLoad::next_change(SimTime t) const {
+  for (const auto& s : steps_) {
+    if (s.at > t) return s.at;
+  }
+  return kSimTimeNever;
+}
+
+PeriodicLoad::PeriodicLoad(double low, double high, SimDuration on_duration,
+                           SimDuration off_duration)
+    : low_(clamp_load(low)), high_(clamp_load(high)), on_(on_duration), off_(off_duration) {
+  if (on_ <= 0 || off_ <= 0) {
+    throw std::invalid_argument("PeriodicLoad durations must be positive");
+  }
+}
+
+double PeriodicLoad::load_at(SimTime t) const {
+  if (t < 0) return low_;
+  const SimDuration period = on_ + off_;
+  const SimDuration phase = t % period;
+  return phase < on_ ? high_ : low_;
+}
+
+SimTime PeriodicLoad::next_change(SimTime t) const {
+  if (t < 0) return 0;
+  const SimDuration period = on_ + off_;
+  const SimTime cycle_start = (t / period) * period;
+  const SimDuration phase = t - cycle_start;
+  return phase < on_ ? cycle_start + on_ : cycle_start + period;
+}
+
+std::unique_ptr<LoadProfile> make_random_walk_load(Rng rng, double lo, double hi,
+                                                   SimDuration segment, SimTime horizon) {
+  if (segment <= 0) throw std::invalid_argument("random walk segment must be positive");
+  lo = clamp_load(lo);
+  hi = clamp_load(hi);
+  if (hi < lo) std::swap(lo, hi);
+  std::vector<StepLoad::Step> steps;
+  double level = rng.uniform(lo, hi);
+  const double initial = level;
+  const double max_drift = (hi - lo) * 0.25;
+  for (SimTime t = segment; t <= horizon; t += segment) {
+    level = std::clamp(level + rng.uniform(-max_drift, max_drift), lo, hi);
+    steps.push_back({t, level});
+  }
+  return std::make_unique<StepLoad>(initial, std::move(steps));
+}
+
+std::unique_ptr<LoadProfile> make_diurnal_load(double night, double peak,
+                                               SimDuration period, SimDuration step,
+                                               SimTime horizon, double phase_fraction) {
+  if (period <= 0 || step <= 0) {
+    throw std::invalid_argument("diurnal period/step must be positive");
+  }
+  night = clamp_load(night);
+  peak = clamp_load(peak);
+  const double two_pi = 6.283185307179586;
+  auto level_at = [&](SimTime t) {
+    const double phase =
+        static_cast<double>(t) / static_cast<double>(period) + phase_fraction;
+    return night + (peak - night) * 0.5 * (1.0 - std::cos(two_pi * phase));
+  };
+  std::vector<StepLoad::Step> steps;
+  for (SimTime t = step; t <= horizon; t += step) {
+    steps.push_back({t, level_at(t)});
+  }
+  return std::make_unique<StepLoad>(level_at(0), std::move(steps));
+}
+
+}  // namespace gae::sim

@@ -1,0 +1,86 @@
+// Background CPU-load profiles for simulated worker nodes.
+//
+// A profile maps virtual time to the fraction of the CPU consumed by other
+// (non-grid) users, as a piecewise-constant function. The execution service
+// integrates job progress exactly between change points, so job completion
+// events are scheduled analytically rather than polled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+
+namespace gae::sim {
+
+/// Piecewise-constant background load in [0, 1).
+class LoadProfile {
+ public:
+  virtual ~LoadProfile() = default;
+
+  /// Load at time t, in [0, 1). 0 = idle node, 0.9 = heavily loaded.
+  virtual double load_at(SimTime t) const = 0;
+
+  /// First instant strictly after t where load_at changes, or kSimTimeNever
+  /// for constant profiles.
+  virtual SimTime next_change(SimTime t) const = 0;
+};
+
+/// Always the same load.
+class ConstantLoad final : public LoadProfile {
+ public:
+  explicit ConstantLoad(double load);
+  double load_at(SimTime) const override { return load_; }
+  SimTime next_change(SimTime) const override { return kSimTimeNever; }
+
+ private:
+  double load_;
+};
+
+/// Explicit schedule: load becomes steps[i].load at steps[i].at, holding the
+/// last value forever. Before the first step the load is `initial`.
+class StepLoad final : public LoadProfile {
+ public:
+  struct Step {
+    SimTime at;
+    double load;
+  };
+  StepLoad(double initial, std::vector<Step> steps);
+
+  double load_at(SimTime t) const override;
+  SimTime next_change(SimTime t) const override;
+
+ private:
+  double initial_;
+  std::vector<Step> steps_;  // sorted by .at
+};
+
+/// Square wave: `high` for on_duration, `low` for off_duration, repeating.
+class PeriodicLoad final : public LoadProfile {
+ public:
+  PeriodicLoad(double low, double high, SimDuration on_duration, SimDuration off_duration);
+
+  double load_at(SimTime t) const override;
+  SimTime next_change(SimTime t) const override;
+
+ private:
+  double low_, high_;
+  SimDuration on_, off_;
+};
+
+/// Pre-generated random walk: segments of `segment` duration with load
+/// drifting within [lo, hi]; deterministic for a given seed, out to
+/// `horizon`. After the horizon the last value holds.
+std::unique_ptr<LoadProfile> make_random_walk_load(Rng rng, double lo, double hi,
+                                                   SimDuration segment, SimTime horizon);
+
+/// Day/night cycle: a raised cosine between `night` (trough) and `peak`,
+/// sampled into piecewise-constant steps of `step` out to `horizon`.
+/// `phase_fraction` in [0,1) shifts where in the cycle t=0 falls (0 = trough).
+std::unique_ptr<LoadProfile> make_diurnal_load(double night, double peak,
+                                               SimDuration period, SimDuration step,
+                                               SimTime horizon,
+                                               double phase_fraction = 0.0);
+
+}  // namespace gae::sim

@@ -1,0 +1,116 @@
+#include "sim/network.h"
+
+#include <cmath>
+
+namespace gae::sim {
+
+NetworkManager::NetworkManager(Simulation& sim, Grid& grid) : sim_(sim), grid_(grid) {}
+
+Result<TransferId> NetworkManager::start_transfer(const std::string& src,
+                                                  const std::string& dst,
+                                                  std::uint64_t bytes,
+                                                  std::function<void()> on_complete) {
+  if (!grid_.has_site(src)) return not_found_error("unknown site: " + src);
+  if (!grid_.has_site(dst)) return not_found_error("unknown site: " + dst);
+
+  const TransferId id = next_id_++;
+  if (src == dst || bytes == 0) {
+    // Local copy: latency only (zero for same-site per Grid::transfer_time).
+    const SimDuration latency = src == dst ? 0 : grid_.link(src, dst).latency;
+    Transfer t;
+    t.id = id;
+    t.link = {src, dst};
+    t.remaining_bytes = 0;
+    t.segment_start = sim_.now();
+    t.rate = 0;
+    t.on_complete = std::move(on_complete);
+    t.event = sim_.schedule_after(latency, [this, id] { on_transfer_done(id); });
+    transfers_.emplace(id, std::move(t));
+    return id;
+  }
+
+  const Link link = grid_.link(src, dst);
+  if (link.bandwidth_bytes_per_sec <= 0) {
+    return failed_precondition_error("no bandwidth " + src + "->" + dst);
+  }
+
+  Transfer t;
+  t.id = id;
+  t.link = {src, dst};
+  t.remaining_bytes = static_cast<double>(bytes);
+  t.segment_start = sim_.now();
+  t.rate = 0;  // set by replan_link
+  t.on_complete = std::move(on_complete);
+  transfers_.emplace(id, std::move(t));
+  ++link_counts_[{src, dst}];
+  replan_link({src, dst});
+  return id;
+}
+
+bool NetworkManager::cancel(TransferId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return false;
+  if (it->second.event != sim::kInvalidEvent) sim_.cancel(it->second.event);
+  const LinkKey link = it->second.link;
+  const bool shared = it->second.rate > 0 || it->second.remaining_bytes > 0;
+  transfers_.erase(it);
+  if (shared) {
+    auto count = link_counts_.find(link);
+    if (count != link_counts_.end() && --count->second == 0) link_counts_.erase(count);
+    replan_link(link);
+  }
+  return true;
+}
+
+std::size_t NetworkManager::active_on_link(const std::string& src,
+                                           const std::string& dst) const {
+  auto it = link_counts_.find({src, dst});
+  return it == link_counts_.end() ? 0 : it->second;
+}
+
+void NetworkManager::replan_link(const LinkKey& link) {
+  const SimTime now = sim_.now();
+  auto count_it = link_counts_.find(link);
+  const std::size_t sharers = count_it == link_counts_.end() ? 0 : count_it->second;
+  if (sharers == 0) return;
+
+  const double bandwidth = grid_.link(link.first, link.second).bandwidth_bytes_per_sec;
+  const double share = bandwidth / static_cast<double>(sharers);
+
+  for (auto& [id, t] : transfers_) {
+    if (t.link != link || t.remaining_bytes <= 0) continue;
+    // Fold the finished segment into remaining bytes.
+    const double elapsed = to_seconds(now - t.segment_start);
+    t.remaining_bytes = std::max(0.0, t.remaining_bytes - elapsed * t.rate);
+    t.segment_start = now;
+    t.rate = share;
+    if (t.event != sim::kInvalidEvent) sim_.cancel(t.event);
+    const double seconds = t.remaining_bytes / share;
+    const TransferId tid = id;
+    t.event = sim_.schedule_after(
+        static_cast<SimDuration>(std::ceil(seconds * 1e6)),
+        [this, tid] { on_transfer_done(tid); });
+  }
+}
+
+void NetworkManager::on_transfer_done(TransferId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  const LinkKey link = it->second.link;
+  const bool shared = it->second.rate > 0;
+  auto on_complete = std::move(it->second.on_complete);
+  transfers_.erase(it);
+  ++completed_;
+  if (shared) {
+    auto count = link_counts_.find(link);
+    if (count != link_counts_.end() && --count->second == 0) link_counts_.erase(count);
+    // Survivors speed up now that a sharer left.
+    replan_link(link);
+  }
+  // The link latency front-loads poorly into processor sharing; transfers
+  // here pay bandwidth time only, which matches Grid::transfer_time within
+  // one latency. Fire the completion last so callbacks see consistent state.
+  if (on_complete) on_complete();
+}
+
+}  // namespace gae::sim

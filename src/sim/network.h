@@ -1,0 +1,80 @@
+// Link bandwidth contention.
+//
+// Grid::transfer_time() prices a transfer as if it owned the link. The
+// NetworkManager models what actually happens when several transfers share
+// a link: each directed link processor-shares its bandwidth equally among
+// its active transfers, and completion events are re-planned whenever a
+// transfer starts or finishes (piecewise-constant rates, integrated exactly
+// — the same analytic technique the execution service uses for CPU).
+//
+// Components that need contention (staging under heavy replication, WAN
+// storms) take a NetworkManager; the static estimate remains the *estimator's*
+// view, which is exactly the fidelity gap the paper's transfer estimator has.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "sim/engine.h"
+#include "sim/grid.h"
+
+namespace gae::sim {
+
+using TransferId = std::uint64_t;
+inline constexpr TransferId kInvalidTransfer = 0;
+
+class NetworkManager {
+ public:
+  NetworkManager(Simulation& sim, Grid& grid);
+
+  NetworkManager(const NetworkManager&) = delete;
+  NetworkManager& operator=(const NetworkManager&) = delete;
+
+  /// Starts a transfer of `bytes` from `src` to `dst`; `on_complete` fires
+  /// (in virtual time) when the last byte lands. Same-site transfers
+  /// complete after the link latency only. Returns an id for cancel().
+  Result<TransferId> start_transfer(const std::string& src, const std::string& dst,
+                                    std::uint64_t bytes,
+                                    std::function<void()> on_complete);
+
+  /// Cancels an in-flight transfer (its callback never fires). False when
+  /// the transfer already completed or never existed.
+  bool cancel(TransferId id);
+
+  /// Active transfers on the directed link src->dst.
+  std::size_t active_on_link(const std::string& src, const std::string& dst) const;
+
+  std::size_t active_transfers() const { return transfers_.size(); }
+  std::uint64_t completed_transfers() const { return completed_; }
+
+ private:
+  using LinkKey = std::pair<std::string, std::string>;
+
+  struct Transfer {
+    TransferId id;
+    LinkKey link;
+    double remaining_bytes;
+    SimTime segment_start;
+    double rate;  // bytes/s this segment
+    sim::EventId event = sim::kInvalidEvent;
+    std::function<void()> on_complete;
+  };
+
+  /// Folds elapsed time into remaining_bytes for every transfer on `link`,
+  /// then recomputes rates and reschedules completion events.
+  void replan_link(const LinkKey& link);
+
+  void on_transfer_done(TransferId id);
+
+  Simulation& sim_;
+  Grid& grid_;
+  std::map<TransferId, Transfer> transfers_;
+  std::map<LinkKey, std::size_t> link_counts_;
+  TransferId next_id_ = 1;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace gae::sim

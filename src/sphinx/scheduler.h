@@ -1,0 +1,203 @@
+// Sphinx-like scheduling middleware.
+//
+// Turns user job descriptions (DAGs of tasks) into *concrete job plans* —
+// plans that name the execution site for every task — following the paper's
+// §6.1 site-selection loop: ask every site's runtime estimator for a
+// prediction, read site load from the MonALISA repository, add queue and
+// file-transfer estimates, and pick the site minimising the expected
+// completion time. Executes plans respecting DAG dependencies, records
+// submit-time estimates into the estimate database (for the queue-time
+// estimator), notifies plan subscribers (the steering service's Subscriber
+// consumes these), and reallocates tasks on request (steering's move and
+// Backup & Recovery paths).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "estimators/estimate_db.h"
+#include "estimators/runtime_estimator.h"
+#include "exec/execution_service.h"
+#include "monalisa/repository.h"
+#include "sim/engine.h"
+#include "sim/grid.h"
+
+namespace gae::sphinx {
+
+/// One node of a user job DAG.
+struct DagTask {
+  exec::TaskSpec spec;
+  /// Ids of tasks (in the same job) that must complete first.
+  std::vector<std::string> depends_on;
+};
+
+/// What the user submits.
+struct JobDescription {
+  std::string id;
+  std::string owner;
+  std::vector<DagTask> tasks;
+};
+
+/// Scheduler's estimate breakdown for one site.
+struct SiteScore {
+  std::string site;
+  double est_runtime_seconds = 0.0;   // estimator prediction, load-adjusted
+  double est_queue_seconds = 0.0;     // backlog ahead of this task
+  double est_transfer_seconds = 0.0;  // input staging
+  double total_seconds = 0.0;
+};
+
+/// A task bound to a site, with the estimates that justified the binding.
+struct SitePlacement {
+  std::string task_id;
+  std::string site;
+  SiteScore score;
+};
+
+/// "Concrete job plan" (paper §4.2.1): every task has an execution site.
+struct ConcreteJobPlan {
+  std::string job_id;
+  std::string owner;
+  std::vector<SitePlacement> placements;
+  SimTime created_at = 0;
+};
+
+/// Scheduler-side view of a job in flight.
+enum class JobState { kRunning, kCompleted, kFailed, kCancelled };
+
+struct JobStatus {
+  JobState state = JobState::kRunning;
+  std::size_t tasks_total = 0;
+  std::size_t tasks_completed = 0;
+  std::size_t tasks_failed = 0;
+};
+
+struct SchedulerOptions {
+  /// MonALISA metric read for per-site load ("" disables load adjustment).
+  std::string load_metric = "cpu_load";
+  /// Window over which site load is averaged.
+  double load_window_seconds = 300.0;
+  /// Minimum effective speed under load, guards division by ~0.
+  double min_effective_speed = 0.05;
+  /// Used when a site estimator cannot produce a prediction yet.
+  double fallback_runtime_seconds = 600.0;
+  /// Automatic resubmissions of a failed task (excluding the site it failed
+  /// on) before the failure sticks. 0 = the paper's behaviour: failures are
+  /// surfaced and recovery is the steering service's job.
+  int task_retry_limit = 0;
+};
+
+class SphinxScheduler {
+ public:
+  /// Everything the scheduler knows about one site.
+  struct SiteBinding {
+    exec::ExecutionService* exec = nullptr;
+    std::shared_ptr<estimators::RuntimeEstimator> estimator;
+  };
+
+  SphinxScheduler(sim::Simulation& sim, sim::Grid& grid,
+                  monalisa::Repository* monitoring,
+                  std::shared_ptr<estimators::EstimateDatabase> estimate_db,
+                  SchedulerOptions options = {});
+  ~SphinxScheduler();
+
+  SphinxScheduler(const SphinxScheduler&) = delete;
+  SphinxScheduler& operator=(const SphinxScheduler&) = delete;
+
+  void add_site(const std::string& name, SiteBinding binding);
+  std::vector<std::string> site_names() const;
+
+  // -- Planning --------------------------------------------------------------
+
+  /// Ranks candidate sites for one task, best first (paper §6.1 steps a-e).
+  Result<std::vector<SiteScore>> rank_sites(const exec::TaskSpec& spec,
+                                            const std::set<std::string>& exclude = {}) const;
+
+  /// The §6.1 estimate breakdown for one specific site (UNAVAILABLE when
+  /// the site is down or unknown).
+  Result<SiteScore> score_site(const exec::TaskSpec& spec, const std::string& site) const;
+
+  /// Builds a concrete plan without submitting it.
+  Result<ConcreteJobPlan> make_plan(const JobDescription& job) const;
+
+  /// Plans and executes: root tasks are submitted now, dependents as their
+  /// parents complete. Publishes the plan to subscribers.
+  Result<ConcreteJobPlan> submit(const JobDescription& job);
+
+  // -- Steering hooks ----------------------------------------------------------
+
+  /// Where a task currently lives. NOT_FOUND for unknown tasks.
+  Result<std::string> task_site(const std::string& task_id) const;
+
+  /// Picks a new site (excluding `exclude`) and resubmits the task there
+  /// with `initial_cpu_seconds` of carried progress. Returns the placement.
+  /// Used by steering on move requests and execution-service failure.
+  Result<SitePlacement> reallocate(const std::string& task_id,
+                                   const std::set<std::string>& exclude,
+                                   double initial_cpu_seconds);
+
+  /// Resubmits a known task at a *specific* site (steering's manual move).
+  Result<SitePlacement> place(const std::string& task_id, const std::string& site,
+                              double initial_cpu_seconds);
+
+  Result<JobStatus> job_status(const std::string& job_id) const;
+
+  /// Kills every non-terminal task of a job and stops submitting the rest.
+  Status cancel_job(const std::string& job_id);
+
+  // -- Plan subscription (steering's Subscriber) -----------------------------
+
+  using PlanCallback =
+      std::function<void(const JobDescription&, const ConcreteJobPlan&)>;
+  int subscribe_plans(PlanCallback cb);
+  void unsubscribe_plans(int token);
+
+ private:
+  struct TaskRun {
+    exec::TaskSpec spec;
+    std::vector<std::string> depends_on;
+    std::string site;
+    bool submitted = false;
+    bool completed = false;
+    bool failed = false;
+    int retries = 0;
+  };
+  struct JobRun {
+    JobDescription desc;
+    ConcreteJobPlan plan;
+    std::map<std::string, TaskRun> tasks;
+    bool cancelled = false;
+  };
+
+  /// Estimated seconds of backlog ahead of a new task at `site`.
+  double site_backlog_seconds(const SiteBinding& binding, int priority) const;
+
+  /// Submits every unsubmitted task whose dependencies completed.
+  void submit_ready_tasks(JobRun& job);
+
+  void on_task_event(const exec::TaskEvent& ev);
+
+  Status submit_to_site(const exec::TaskSpec& spec, const std::string& site,
+                        double initial_cpu_seconds);
+
+  sim::Simulation& sim_;
+  sim::Grid& grid_;
+  monalisa::Repository* monitoring_;
+  std::shared_ptr<estimators::EstimateDatabase> estimate_db_;
+  SchedulerOptions options_;
+
+  std::map<std::string, SiteBinding> sites_;
+  std::vector<std::pair<std::string, int>> subscriptions_;  // (site, token)
+  std::map<std::string, JobRun> jobs_;
+  std::map<std::string, std::string> task_to_job_;
+  std::map<std::string, std::string> task_site_;  // live location registry
+  std::map<int, PlanCallback> plan_subs_;
+  int next_token_ = 1;
+};
+
+}  // namespace gae::sphinx

@@ -1,0 +1,170 @@
+#include "steering/rpc_binding.h"
+
+#include "jobmon/rpc_binding.h"
+
+namespace gae::steering {
+
+using rpc::Array;
+using rpc::CallContext;
+using rpc::Struct;
+using rpc::Value;
+
+namespace {
+
+Result<std::string> task_id_param(const Array& params, const char* usage) {
+  if (params.empty() || !params[0].is_string()) return invalid_argument_error(usage);
+  return params[0].as_string();
+}
+
+Value placement_to_value(const sphinx::SitePlacement& p) {
+  Struct out;
+  out["task_id"] = Value(p.task_id);
+  out["site"] = Value(p.site);
+  out["est_runtime_seconds"] = Value(p.score.est_runtime_seconds);
+  out["est_queue_seconds"] = Value(p.score.est_queue_seconds);
+  out["est_transfer_seconds"] = Value(p.score.est_transfer_seconds);
+  out["total_seconds"] = Value(p.score.total_seconds);
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+void register_steering_methods(clarens::ClarensHost& host, SteeringService& service) {
+  auto& d = host.dispatcher();
+
+  d.register_method("steering.kill",
+                    [&service](const Array& params, const CallContext& ctx) -> Result<Value> {
+                      auto id = task_id_param(params, "steering.kill(task_id)");
+                      if (!id.is_ok()) return id.status();
+                      const Status s = service.kill(ctx.session_token, id.value());
+                      if (!s.is_ok()) return s;
+                      return Value(true);
+                    });
+
+  d.register_method("steering.pause",
+                    [&service](const Array& params, const CallContext& ctx) -> Result<Value> {
+                      auto id = task_id_param(params, "steering.pause(task_id)");
+                      if (!id.is_ok()) return id.status();
+                      const Status s = service.pause(ctx.session_token, id.value());
+                      if (!s.is_ok()) return s;
+                      return Value(true);
+                    });
+
+  d.register_method("steering.resume",
+                    [&service](const Array& params, const CallContext& ctx) -> Result<Value> {
+                      auto id = task_id_param(params, "steering.resume(task_id)");
+                      if (!id.is_ok()) return id.status();
+                      const Status s = service.resume(ctx.session_token, id.value());
+                      if (!s.is_ok()) return s;
+                      return Value(true);
+                    });
+
+  d.register_method(
+      "steering.priority",
+      [&service](const Array& params, const CallContext& ctx) -> Result<Value> {
+        if (params.size() != 2) {
+          return invalid_argument_error("steering.priority(task_id, priority)");
+        }
+        const Status s = service.change_priority(ctx.session_token, params[0].as_string(),
+                                                 static_cast<int>(params[1].as_int()));
+        if (!s.is_ok()) return s;
+        return Value(true);
+      });
+
+  d.register_method(
+      "steering.move",
+      [&service](const Array& params, const CallContext& ctx) -> Result<Value> {
+        auto id = task_id_param(params, "steering.move(task_id[, to_site])");
+        if (!id.is_ok()) return id.status();
+        const std::string to_site =
+            params.size() > 1 && params[1].is_string() ? params[1].as_string() : "";
+        auto placement = service.move(ctx.session_token, id.value(), to_site);
+        if (!placement.is_ok()) return placement.status();
+        return placement_to_value(placement.value());
+      });
+
+  d.register_method("steering.restart",
+                    [&service](const Array& params, const CallContext& ctx) -> Result<Value> {
+                      auto id = task_id_param(params, "steering.restart(task_id)");
+                      if (!id.is_ok()) return id.status();
+                      auto placement = service.restart(ctx.session_token, id.value());
+                      if (!placement.is_ok()) return placement.status();
+                      return placement_to_value(placement.value());
+                    });
+
+  d.register_method("steering.info",
+                    [&service](const Array& params, const CallContext& ctx) -> Result<Value> {
+                      auto id = task_id_param(params, "steering.info(task_id)");
+                      if (!id.is_ok()) return id.status();
+                      auto report = service.job_info(ctx.session_token, id.value());
+                      if (!report.is_ok()) return report.status();
+                      return jobmon::report_to_value(report.value());
+                    });
+
+  d.register_method(
+      "steering.advise",
+      [&service](const Array& params, const CallContext& ctx) -> Result<Value> {
+        auto id = task_id_param(params, "steering.advise(task_id)");
+        if (!id.is_ok()) return id.status();
+        auto scores = service.advise(ctx.session_token, id.value());
+        if (!scores.is_ok()) return scores.status();
+        Array out;
+        for (const auto& score : scores.value()) {
+          Struct s;
+          s["site"] = Value(score.site);
+          s["est_runtime_seconds"] = Value(score.est_runtime_seconds);
+          s["est_queue_seconds"] = Value(score.est_queue_seconds);
+          s["est_transfer_seconds"] = Value(score.est_transfer_seconds);
+          s["total_seconds"] = Value(score.total_seconds);
+          out.emplace_back(std::move(s));
+        }
+        return Value(std::move(out));
+      });
+
+  d.register_method("steering.notifications",
+                    [&service](const Array&, const CallContext&) -> Result<Value> {
+                      Array out;
+                      for (const auto& n : service.notification_log()) {
+                        Struct s;
+                        s["time"] = Value(to_seconds(n.time));
+                        s["kind"] = Value(n.kind);
+                        s["job_id"] = Value(n.job_id);
+                        s["task_id"] = Value(n.task_id);
+                        s["detail"] = Value(n.detail);
+                        Array files;
+                        for (const auto& f : n.output_files) files.push_back(Value(f));
+                        s["output_files"] = Value(std::move(files));
+                        out.emplace_back(std::move(s));
+                      }
+                      return Value(std::move(out));
+                    });
+
+  d.register_method(
+      "steering.notificationsSince",
+      [&service](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.empty() || !params[0].is_int()) {
+          return invalid_argument_error("steering.notificationsSince(after[, max])");
+        }
+        const auto after = static_cast<std::size_t>(params[0].as_int());
+        const std::size_t max =
+            params.size() > 1 ? static_cast<std::size_t>(params[1].as_int()) : 100;
+        Array out;
+        std::size_t index = after;
+        for (const auto& n : service.notifications_since(after, max)) {
+          Struct s;
+          s["index"] = Value(static_cast<std::int64_t>(index++));
+          s["time"] = Value(to_seconds(n.time));
+          s["kind"] = Value(n.kind);
+          s["job_id"] = Value(n.job_id);
+          s["task_id"] = Value(n.task_id);
+          s["detail"] = Value(n.detail);
+          out.emplace_back(std::move(s));
+        }
+        return Value(std::move(out));
+      });
+
+  host.registry().register_service(
+      {"steering@" + host.name(), host.name(), host.port(), "xmlrpc", {}, 0});
+}
+
+}  // namespace gae::steering

@@ -1,0 +1,16 @@
+// Web-service face of the Steering Service: registers "steering.*" methods
+// on a Clarens host. The session token from the transport (x-clarens-session)
+// doubles as the steering authorization token, so the Session Manager checks
+// the same identity the host authenticated.
+#pragma once
+
+#include "clarens/host.h"
+#include "steering/service.h"
+
+namespace gae::steering {
+
+/// Registers steering.kill / pause / resume / priority / move / info /
+/// notifications on the host. The service must outlive the host.
+void register_steering_methods(clarens::ClarensHost& host, SteeringService& service);
+
+}  // namespace gae::steering

@@ -1,0 +1,96 @@
+#include "workload/paragon_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gae::workload {
+
+namespace {
+
+const char* kPartitions[] = {"compute", "io", "service"};
+const char* kQueues[] = {"q16s", "q64l", "standard", "low", "express"};
+
+}  // namespace
+
+ApplicationPopulation ApplicationPopulation::make(Rng& rng,
+                                                  const PopulationOptions& options) {
+  ApplicationPopulation pop;
+  pop.apps_.reserve(static_cast<std::size_t>(options.num_applications));
+  for (int i = 0; i < options.num_applications; ++i) {
+    Application app;
+    const int login_idx = static_cast<int>(rng.uniform_int(0, options.num_logins - 1));
+    app.login = "user" + std::to_string(login_idx);
+    app.account = "acct" + std::to_string(login_idx % std::max(1, options.num_accounts));
+    app.executable = "app" + std::to_string(i);
+    app.partition = kPartitions[rng.uniform_int(0, 2)];
+    app.queue = kQueues[rng.uniform_int(0, 4)];
+    app.ref_nodes = static_cast<int>(std::max<std::int64_t>(1, 1 << rng.uniform_int(0, 6)));
+    app.interactive = rng.bernoulli(0.2);
+    app.base_runtime = rng.lognormal(options.base_mu, options.base_sigma);
+    // Interactive jobs in the Paragon log were short; clamp them.
+    if (app.interactive) app.base_runtime = std::min(app.base_runtime, 900.0);
+    app.sigma_within = options.sigma_within * rng.uniform(0.6, 1.4);
+    app.nodes_alpha = rng.uniform(0.5, 0.95);
+    app.overrequest = rng.uniform(1.2, 4.0);
+    pop.apps_.push_back(std::move(app));
+  }
+  return pop;
+}
+
+const Application& ApplicationPopulation::pick(Rng& rng) const {
+  return rng.pick(apps_);
+}
+
+double ApplicationPopulation::sample_runtime(const Application& app, int nodes,
+                                             Rng& rng) const {
+  const double scale =
+      std::pow(static_cast<double>(app.ref_nodes) / std::max(1, nodes), app.nodes_alpha);
+  const double jitter = rng.lognormal(0.0, app.sigma_within);
+  return std::max(1.0, app.base_runtime * scale * jitter);
+}
+
+int ApplicationPopulation::sample_nodes(const Application& app, Rng& rng) const {
+  // Most runs reuse the typical node count; some scale up/down by 2x.
+  const double u = rng.uniform(0.0, 1.0);
+  int nodes = app.ref_nodes;
+  if (u < 0.15) nodes = std::max(1, app.ref_nodes / 2);
+  else if (u > 0.85) nodes = app.ref_nodes * 2;
+  return nodes;
+}
+
+std::vector<AccountingRecord> generate_trace(const ApplicationPopulation& population,
+                                             Rng& rng, const TraceOptions& options) {
+  std::vector<AccountingRecord> trace;
+  trace.reserve(options.num_records);
+  SimTime submit = 0;
+  for (std::size_t i = 0; i < options.num_records; ++i) {
+    const Application& app = population.pick(rng);
+    AccountingRecord rec;
+    rec.account = app.account;
+    rec.login = app.login;
+    rec.executable = app.executable;
+    rec.partition = app.partition;
+    rec.queue = app.queue;
+    rec.nodes = population.sample_nodes(app, rng);
+    rec.interactive = app.interactive;
+    rec.successful = !rng.bernoulli(options.failure_rate);
+
+    submit += from_seconds(rng.exponential(options.mean_interarrival));
+    rec.submit_time = submit;
+    rec.start_time = submit + from_seconds(rng.exponential(options.mean_queue_wait));
+
+    double runtime = population.sample_runtime(app, rec.nodes, rng);
+    // Unsuccessful jobs die partway through.
+    if (!rec.successful) runtime *= rng.uniform(0.05, 0.8);
+    rec.complete_time = rec.start_time + from_seconds(runtime);
+
+    rec.requested_cpu_hours =
+        runtime / 3600.0 * rec.nodes * app.overrequest * rng.uniform(0.8, 1.2);
+    rec.cpu_charge_rate = app.interactive ? 2.0 : 1.0;
+    rec.idle_charge_rate = 0.1;
+    trace.push_back(std::move(rec));
+  }
+  return trace;
+}
+
+}  // namespace gae::workload

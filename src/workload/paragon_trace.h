@@ -1,0 +1,104 @@
+// Synthetic SDSC-Paragon-style accounting trace.
+//
+// The paper's fig. 5 evaluates the runtime estimator on Allen Downey's 1995
+// Paragon accounting data (account, login, partition, nodes, batch vs
+// interactive, status, requested CPU hours, queue, charge rates,
+// submit/start/complete times). That data is not available here, so this
+// module synthesises a trace with the statistical property the estimator
+// depends on — *tasks with similar characteristics have similar runtimes* —
+// by drawing jobs from a population of recurring applications. Each
+// application (a login + executable pairing bound to a queue/partition) has
+// a heavy-tailed base runtime; individual runs jitter around it and scale
+// with the node count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_types.h"
+
+namespace gae::workload {
+
+/// One line of the accounting log (the fields the paper lists in §7).
+struct AccountingRecord {
+  std::string account;
+  std::string login;
+  std::string executable;   // application identity (not in the 1995 log, but
+                            // implied by "similar tasks"; estimators may use it)
+  std::string partition;
+  std::string queue;
+  int nodes = 1;
+  bool interactive = false;
+  bool successful = true;
+  double requested_cpu_hours = 0.0;
+  double cpu_charge_rate = 1.0;
+  double idle_charge_rate = 0.1;
+  SimTime submit_time = 0;
+  SimTime start_time = 0;
+  SimTime complete_time = 0;
+
+  /// Actual wall runtime in seconds.
+  double runtime_seconds() const { return to_seconds(complete_time - start_time); }
+};
+
+/// A recurring application in the population; ground truth for generators.
+struct Application {
+  std::string account;
+  std::string login;
+  std::string executable;
+  std::string partition;
+  std::string queue;
+  int ref_nodes = 8;          // typical node count
+  bool interactive = false;
+  double base_runtime = 600;  // seconds at ref_nodes
+  double sigma_within = 0.25; // lognormal jitter between runs of this app
+  double nodes_alpha = 0.7;   // runtime ~ base * (ref_nodes/nodes)^alpha
+  double overrequest = 2.0;   // requested cpu-hours inflation factor
+};
+
+struct PopulationOptions {
+  int num_applications = 24;
+  int num_logins = 12;
+  int num_accounts = 6;
+  /// Lognormal parameters of base runtimes across applications (seconds).
+  double base_mu = 6.3;      // exp(6.3) ~ 545 s median
+  double base_sigma = 1.1;   // heavy spread across applications
+  /// Within-application run-to-run jitter (lognormal sigma).
+  double sigma_within = 0.25;
+};
+
+/// The set of applications a site's users keep re-running.
+class ApplicationPopulation {
+ public:
+  static ApplicationPopulation make(Rng& rng, const PopulationOptions& options);
+
+  const std::vector<Application>& applications() const { return apps_; }
+  const Application& pick(Rng& rng) const;
+
+  /// Ground-truth runtime (seconds) of one run of `app` on `nodes` nodes.
+  double sample_runtime(const Application& app, int nodes, Rng& rng) const;
+
+  /// Node count for one run: ref_nodes +- small variation, >= 1.
+  int sample_nodes(const Application& app, Rng& rng) const;
+
+ private:
+  std::vector<Application> apps_;
+};
+
+struct TraceOptions {
+  std::size_t num_records = 120;
+  /// Mean virtual seconds between submissions (Poisson arrivals).
+  double mean_interarrival = 180.0;
+  /// Mean queue wait in seconds (exponential).
+  double mean_queue_wait = 120.0;
+  /// Probability a job fails (status unsuccessful in the accounting log).
+  double failure_rate = 0.05;
+};
+
+/// Generates an accounting trace from a population, submit-time ordered.
+std::vector<AccountingRecord> generate_trace(const ApplicationPopulation& population,
+                                             Rng& rng, const TraceOptions& options);
+
+}  // namespace gae::workload

@@ -1,0 +1,95 @@
+#include "workload/task_generator.h"
+
+#include <cmath>
+
+namespace gae::workload {
+
+exec::TaskSpec make_task(const ApplicationPopulation& population, Rng& rng,
+                         const TaskGenOptions& options, const std::string& task_id) {
+  const Application& app = population.pick(rng);
+  const int nodes = population.sample_nodes(app, rng);
+
+  exec::TaskSpec spec;
+  spec.id = task_id;
+  spec.job_id = options.job_id;
+  spec.owner = app.login;
+  spec.executable = app.executable;
+  spec.work_seconds = population.sample_runtime(app, nodes, rng);
+  spec.priority = static_cast<int>(rng.uniform_int(options.priority_min, options.priority_max));
+  spec.checkpointable = rng.bernoulli(options.checkpointable_rate);
+  if (rng.bernoulli(options.input_file_rate)) {
+    spec.input_files.push_back("dataset-" + app.executable + ".root");
+  }
+  spec.output_bytes = static_cast<std::uint64_t>(
+      rng.lognormal(std::log(options.median_output_bytes), 0.8));
+
+  spec.attributes["login"] = app.login;
+  spec.attributes["executable"] = app.executable;
+  spec.attributes["queue"] = app.queue;
+  spec.attributes["partition"] = app.partition;
+  spec.attributes["nodes"] = std::to_string(nodes);
+  spec.attributes["jobtype"] = app.interactive ? "interactive" : "batch";
+  spec.environment["GAE_USER"] = app.login;
+  spec.environment["GAE_APP"] = app.executable;
+  return spec;
+}
+
+std::vector<exec::TaskSpec> make_tasks(const ApplicationPopulation& population, Rng& rng,
+                                       const TaskGenOptions& options,
+                                       const std::string& id_prefix, std::size_t n) {
+  std::vector<exec::TaskSpec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(make_task(population, rng, options, id_prefix + "-" + std::to_string(i)));
+  }
+  return out;
+}
+
+sphinx::JobDescription make_dag_job(const ApplicationPopulation& population, Rng& rng,
+                                    const DagGenOptions& options,
+                                    const std::string& job_id) {
+  sphinx::JobDescription job;
+  job.id = job_id;
+  job.owner = options.task_options.owner_prefix;
+
+  TaskGenOptions topts = options.task_options;
+  topts.job_id = job_id;
+
+  std::vector<std::vector<std::string>> levels;
+  int counter = 0;
+  for (int level = 0; level < std::max(1, options.levels); ++level) {
+    const auto width = static_cast<int>(
+        rng.uniform_int(options.min_width, std::max(options.min_width, options.max_width)));
+    std::vector<std::string> ids;
+    for (int i = 0; i < width; ++i) {
+      const std::string id = job_id + "-t" + std::to_string(counter++);
+      sphinx::DagTask task;
+      task.spec = make_task(population, rng, topts, id);
+      if (level > 0) {
+        for (const auto& parent : levels.back()) {
+          if (rng.bernoulli(options.dep_rate)) task.depends_on.push_back(parent);
+        }
+        if (task.depends_on.empty()) {
+          task.depends_on.push_back(rng.pick(levels.back()));
+        }
+      }
+      job.tasks.push_back(std::move(task));
+      ids.push_back(id);
+    }
+    levels.push_back(std::move(ids));
+  }
+  return job;
+}
+
+std::map<std::string, std::string> record_attributes(const AccountingRecord& rec) {
+  return {
+      {"login", rec.login},
+      {"executable", rec.executable},
+      {"queue", rec.queue},
+      {"partition", rec.partition},
+      {"nodes", std::to_string(rec.nodes)},
+      {"jobtype", rec.interactive ? "interactive" : "batch"},
+  };
+}
+
+}  // namespace gae::workload

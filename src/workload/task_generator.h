@@ -1,0 +1,61 @@
+// Grid task workload generator: turns the application population into
+// executable TaskSpecs for the simulated execution services, with the
+// attribute set the runtime estimator matches on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/job.h"
+#include "sphinx/scheduler.h"
+#include "workload/paragon_trace.h"
+
+namespace gae::workload {
+
+struct TaskGenOptions {
+  std::string owner_prefix = "user";
+  std::string job_id = "job-gen";
+  int priority_min = 0;
+  int priority_max = 5;
+  double checkpointable_rate = 0.3;
+  /// Probability a task carries an input file dependency.
+  double input_file_rate = 0.4;
+  /// Input/output sizes (bytes), lognormal around these medians.
+  double median_input_bytes = 200e6;
+  double median_output_bytes = 50e6;
+};
+
+/// Builds one TaskSpec from an application draw. The estimator-visible
+/// attributes are {login, executable, queue, partition, nodes, jobtype};
+/// ground-truth work_seconds comes from the population model.
+exec::TaskSpec make_task(const ApplicationPopulation& population, Rng& rng,
+                         const TaskGenOptions& options, const std::string& task_id);
+
+/// Batch convenience: n tasks with ids "<prefix>-0" .. "<prefix>-(n-1)".
+std::vector<exec::TaskSpec> make_tasks(const ApplicationPopulation& population, Rng& rng,
+                                       const TaskGenOptions& options,
+                                       const std::string& id_prefix, std::size_t n);
+
+/// The attribute map the estimators see for an accounting record (used when
+/// loading history from a Paragon-style trace).
+std::map<std::string, std::string> record_attributes(const AccountingRecord& rec);
+
+struct DagGenOptions {
+  /// Levels in the DAG (>= 1). Level 0 is the root stage.
+  int levels = 3;
+  /// Tasks per level, min/max (uniform).
+  int min_width = 1;
+  int max_width = 4;
+  /// Probability that a task depends on any given task one level up
+  /// (at least one dependency per non-root task is guaranteed).
+  double dep_rate = 0.5;
+  TaskGenOptions task_options;
+};
+
+/// Builds a random layered DAG job: tasks in level k depend only on tasks in
+/// level k-1, so the result is always acyclic.
+sphinx::JobDescription make_dag_job(const ApplicationPopulation& population, Rng& rng,
+                                    const DagGenOptions& options, const std::string& job_id);
+
+}  // namespace gae::workload

@@ -1,0 +1,98 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace gae::workload {
+
+namespace {
+
+constexpr const char* kHeader =
+    "account,login,executable,partition,queue,nodes,interactive,successful,"
+    "requested_cpu_hours,cpu_charge_rate,idle_charge_rate,submit_s,start_s,complete_s";
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) out.push_back(field);
+  // A trailing comma means one more empty field.
+  if (!line.empty() && line.back() == ',') out.emplace_back();
+  return out;
+}
+
+}  // namespace
+
+std::string trace_to_csv(const std::vector<AccountingRecord>& trace) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  out.precision(15);
+  for (const auto& r : trace) {
+    out << r.account << ',' << r.login << ',' << r.executable << ',' << r.partition
+        << ',' << r.queue << ',' << r.nodes << ',' << (r.interactive ? 1 : 0) << ','
+        << (r.successful ? 1 : 0) << ',' << r.requested_cpu_hours << ','
+        << r.cpu_charge_rate << ',' << r.idle_charge_rate << ','
+        << to_seconds(r.submit_time) << ',' << to_seconds(r.start_time) << ','
+        << to_seconds(r.complete_time) << '\n';
+  }
+  return out.str();
+}
+
+Result<std::vector<AccountingRecord>> trace_from_csv(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line)) return invalid_argument_error("empty trace file");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kHeader) return invalid_argument_error("unexpected trace header: " + line);
+
+  std::vector<AccountingRecord> trace;
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line);
+    if (fields.size() != 14) {
+      return invalid_argument_error("trace line " + std::to_string(lineno) + ": expected 14 fields, got " +
+                                    std::to_string(fields.size()));
+    }
+    try {
+      AccountingRecord r;
+      r.account = fields[0];
+      r.login = fields[1];
+      r.executable = fields[2];
+      r.partition = fields[3];
+      r.queue = fields[4];
+      r.nodes = std::stoi(fields[5]);
+      r.interactive = fields[6] == "1";
+      r.successful = fields[7] == "1";
+      r.requested_cpu_hours = std::stod(fields[8]);
+      r.cpu_charge_rate = std::stod(fields[9]);
+      r.idle_charge_rate = std::stod(fields[10]);
+      r.submit_time = from_seconds(std::stod(fields[11]));
+      r.start_time = from_seconds(std::stod(fields[12]));
+      r.complete_time = from_seconds(std::stod(fields[13]));
+      trace.push_back(std::move(r));
+    } catch (const std::exception& e) {
+      return invalid_argument_error("trace line " + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  return trace;
+}
+
+Status save_trace(const std::vector<AccountingRecord>& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return unavailable_error("cannot write trace file: " + path);
+  out << trace_to_csv(trace);
+  return out ? Status::ok() : unavailable_error("write failed: " + path);
+}
+
+Result<std::vector<AccountingRecord>> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return not_found_error("cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return trace_from_csv(buffer.str());
+}
+
+}  // namespace gae::workload

@@ -1,0 +1,25 @@
+// Accounting-trace serialisation: CSV in the spirit of the original SDSC
+// accounting logs, so synthetic traces can be exported for inspection and a
+// real trace (when someone has one) can be imported unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/paragon_trace.h"
+
+namespace gae::workload {
+
+/// Header + one line per record. Times serialise as fractional seconds.
+std::string trace_to_csv(const std::vector<AccountingRecord>& trace);
+
+/// Parses CSV produced by trace_to_csv (header required, column order
+/// fixed). INVALID_ARGUMENT on malformed input.
+Result<std::vector<AccountingRecord>> trace_from_csv(const std::string& csv);
+
+/// Convenience: writes/reads a trace file on disk.
+Status save_trace(const std::vector<AccountingRecord>& trace, const std::string& path);
+Result<std::vector<AccountingRecord>> load_trace(const std::string& path);
+
+}  // namespace gae::workload

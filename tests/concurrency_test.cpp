@@ -1,0 +1,194 @@
+// Thread pool, channel, clock and id-generation behaviour under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/channel.h"
+#include "common/clock.h"
+#include "common/id.h"
+#include "common/thread_pool.h"
+
+namespace gae {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  pool.shutdown(true);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, RejectsAfterShutdown) {
+  ThreadPool pool(2);
+  pool.shutdown(true);
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(ThreadPool, AtLeastOneWorkerEvenIfZeroRequested) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran.store(true); });
+  pool.shutdown(true);
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DrainFalseDropsQueuedWork) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+    done.fetch_add(1);
+  });
+  while (!started.load()) std::this_thread::yield();  // worker holds task 1
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  // Begin a non-draining shutdown while the worker is still pinned on the
+  // first task: the queue is cleared before the worker can reach it.
+  std::thread stopper([&pool] { pool.shutdown(false); });
+  while (pool.queued() > 0) std::this_thread::yield();
+  release.store(true);
+  stopper.join();
+  EXPECT_EQ(done.load(), 1);  // only the in-flight task ran
+}
+
+TEST(ThreadPool, ParallelSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&pool, &count] {
+      for (int i = 0; i < 250; ++i) pool.submit([&count] { count.fetch_add(1); });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.shutdown(true);
+  EXPECT_EQ(count.load(), 2000);
+}
+
+TEST(Channel, SendReceiveOrder) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  ch.send(3);
+  EXPECT_EQ(ch.receive().value(), 1);
+  EXPECT_EQ(ch.receive().value(), 2);
+  EXPECT_EQ(ch.receive().value(), 3);
+}
+
+TEST(Channel, TryReceiveEmpty) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(Channel, BoundedTrySendFull) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));
+  ch.receive();
+  EXPECT_TRUE(ch.try_send(3));
+}
+
+TEST(Channel, CloseDrainsResidueThenNullopt) {
+  Channel<int> ch;
+  ch.send(7);
+  ch.close();
+  EXPECT_FALSE(ch.send(8));
+  EXPECT_EQ(ch.receive().value(), 7);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, CloseUnblocksReceiver) {
+  Channel<int> ch;
+  std::thread receiver([&ch] { EXPECT_FALSE(ch.receive().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();
+  receiver.join();
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Channel<int> ch(64);
+  std::atomic<int> produced{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        if (ch.send(i)) produced.fetch_add(1);
+      }
+    });
+  }
+  int consumed = 0;
+  std::thread consumer([&] {
+    while (consumed < 2000) {
+      if (ch.receive().has_value()) ++consumed;
+    }
+  });
+  for (auto& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(produced.load(), 2000);
+  EXPECT_EQ(consumed, 2000);
+}
+
+TEST(ManualClock, AdvancesMonotonically) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(200);
+  EXPECT_EQ(clock.now(), 200);
+  clock.advance_to(150);  // going backwards is ignored
+  EXPECT_EQ(clock.now(), 200);
+  clock.advance_by(50);
+  EXPECT_EQ(clock.now(), 250);
+}
+
+TEST(WallClock, MovesForward) {
+  WallClock clock;
+  const SimTime a = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(clock.now(), a);
+}
+
+TEST(Ids, UniqueAcrossThreads) {
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  std::set<std::string> ids;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string id = make_id("task");
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ids.size(), 2000u);
+}
+
+TEST(Ids, TokensLookRandom) {
+  const std::string a = make_token();
+  const std::string b = make_token();
+  EXPECT_EQ(a.size(), 32u);
+  EXPECT_NE(a, b);
+}
+
+TEST(TimeTypes, Conversions) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2'000'000), 2.0);
+  EXPECT_EQ(from_millis(1.0), 1000);
+  EXPECT_DOUBLE_EQ(to_millis(1500), 1.5);
+  EXPECT_EQ(from_seconds(-0.5), -500'000);
+}
+
+}  // namespace
+}  // namespace gae

@@ -1,0 +1,146 @@
+#include "sim/config_loader.h"
+
+#include <gtest/gtest.h>
+
+namespace gae::sim {
+namespace {
+
+TEST(LoadProfileSpec, ConstantAndNone) {
+  auto none = load_profile_from_spec("");
+  ASSERT_TRUE(none.is_ok());
+  EXPECT_DOUBLE_EQ(none.value()->load_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(load_profile_from_spec("none").value()->load_at(0), 0.0);
+
+  auto constant = load_profile_from_spec("constant:0.6");
+  ASSERT_TRUE(constant.is_ok());
+  EXPECT_DOUBLE_EQ(constant.value()->load_at(from_seconds(1000)), 0.6);
+}
+
+TEST(LoadProfileSpec, Periodic) {
+  auto p = load_profile_from_spec("periodic:0.1,0.8,600,600");
+  ASSERT_TRUE(p.is_ok());
+  EXPECT_DOUBLE_EQ(p.value()->load_at(0), 0.8);                  // on phase
+  EXPECT_DOUBLE_EQ(p.value()->load_at(from_seconds(700)), 0.1);  // off phase
+}
+
+TEST(LoadProfileSpec, WalkDeterministicBySeed) {
+  auto a = load_profile_from_spec("walk:0.1,0.7,60,3600,9");
+  auto b = load_profile_from_spec("walk:0.1,0.7,60,3600,9");
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  for (SimTime t = 0; t < from_seconds(3600); t += from_seconds(100)) {
+    EXPECT_DOUBLE_EQ(a.value()->load_at(t), b.value()->load_at(t));
+    EXPECT_GE(a.value()->load_at(t), 0.1);
+    EXPECT_LE(a.value()->load_at(t), 0.7);
+  }
+}
+
+TEST(LoadProfileSpec, MalformedRejected) {
+  EXPECT_FALSE(load_profile_from_spec("constant:").is_ok());
+  EXPECT_FALSE(load_profile_from_spec("constant:a,b").is_ok());
+  EXPECT_FALSE(load_profile_from_spec("periodic:0.1,0.8").is_ok());
+  EXPECT_FALSE(load_profile_from_spec("periodic:0.1,0.8,0,600").is_ok());
+  EXPECT_FALSE(load_profile_from_spec("sinusoid:1").is_ok());
+}
+
+TEST(GridFromConfig, FullTopology) {
+  const char* text = R"(
+[defaults]
+bandwidth_mbps = 80
+latency_ms = 20
+
+[site:cern]
+node.0 = speed=1.0 load=constant:0.5
+node.1 = speed=1.5
+storage.run2026.root = 20000000000
+
+[site:fnal]
+node.0 = speed=1.2 load=periodic:0.0,0.9,300,300
+
+[link:cern->fnal]
+bandwidth_mbps = 800
+latency_ms = 5
+)";
+  auto cfg = Config::parse(text);
+  ASSERT_TRUE(cfg.is_ok()) << cfg.status();
+  Grid grid;
+  const Status s = grid_from_config(cfg.value(), grid);
+  ASSERT_TRUE(s.is_ok()) << s;
+
+  ASSERT_TRUE(grid.has_site("cern"));
+  ASSERT_TRUE(grid.has_site("fnal"));
+  EXPECT_EQ(grid.site("cern").node_count(), 2u);
+  EXPECT_EQ(grid.site("fnal").node_count(), 1u);
+  EXPECT_TRUE(grid.site("cern").has_file("run2026.root"));
+  EXPECT_EQ(grid.site("cern").file_size("run2026.root").value(), 20'000'000'000u);
+
+  // Node attributes: find the constant-load node (map order of config keys
+  // preserves node.0 before node.1).
+  const Node& n0 = grid.site("cern").node(0);
+  EXPECT_DOUBLE_EQ(n0.background_load(0), 0.5);
+  const Node& n1 = grid.site("cern").node(1);
+  EXPECT_DOUBLE_EQ(n1.speed_factor(), 1.5);
+  EXPECT_DOUBLE_EQ(n1.background_load(0), 0.0);
+
+  // Explicit link beats default; other direction uses default.
+  EXPECT_EQ(grid.transfer_time("cern", "fnal", 100'000'000),
+            from_millis(5) + from_seconds(1.0));  // 800 Mbit/s = 100 MB/s
+  EXPECT_EQ(grid.transfer_time("fnal", "cern", 10'000'000),
+            from_millis(20) + from_seconds(1.0));  // 80 Mbit/s = 10 MB/s
+}
+
+TEST(GridFromConfig, MalformedEntriesRejected) {
+  Grid grid;
+  auto run = [&](const char* text) {
+    auto cfg = Config::parse(text);
+    EXPECT_TRUE(cfg.is_ok());
+    return grid_from_config(cfg.value(), grid);
+  };
+  EXPECT_EQ(run("[site:a]\nnode.0 = speed\n").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(run("[site:a]\nnode.0 = speed=zero\n").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(run("[site:a]\nnode.0 = speed=-1\n").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(run("[site:a]\nnode.0 = wat=1\n").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(run("[site:a]\nnode.0 = load=bogus:1\n").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(run("[site:a]\nstorage.f = big\n").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(run("[site:a]\ncolour = red\n").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(run("[link:a-b]\nbandwidth_mbps = 1\n").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(run("[link:a->b]\nbandwidth_mbps = much\n").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GridFromConfig, LinkDeclaresEndpoints) {
+  auto cfg = Config::parse("[link:x->y]\nlatency_ms = 1\n");
+  ASSERT_TRUE(cfg.is_ok());
+  Grid grid;
+  ASSERT_TRUE(grid_from_config(cfg.value(), grid).is_ok());
+  EXPECT_TRUE(grid.has_site("x"));
+  EXPECT_TRUE(grid.has_site("y"));
+}
+
+TEST(DiurnalLoad, TroughAndPeak) {
+  auto load = make_diurnal_load(0.1, 0.9, from_seconds(86400), from_seconds(3600),
+                                from_seconds(86400));
+  // Trough at t=0, peak at half period.
+  EXPECT_NEAR(load->load_at(0), 0.1, 1e-9);
+  EXPECT_NEAR(load->load_at(from_seconds(43200)), 0.9, 0.02);
+  // Mid-rise roughly halfway.
+  EXPECT_NEAR(load->load_at(from_seconds(21600)), 0.5, 0.05);
+  // Bounded everywhere.
+  for (SimTime t = 0; t <= from_seconds(86400); t += from_seconds(1800)) {
+    EXPECT_GE(load->load_at(t), 0.1 - 1e-9);
+    EXPECT_LE(load->load_at(t), 0.9 + 1e-9);
+  }
+}
+
+TEST(DiurnalLoad, PhaseShift) {
+  // phase 0.5 starts at the peak.
+  auto load = make_diurnal_load(0.0, 0.8, from_seconds(1000), from_seconds(50),
+                                from_seconds(1000), 0.5);
+  EXPECT_NEAR(load->load_at(0), 0.8, 1e-9);
+  EXPECT_THROW(make_diurnal_load(0, 1, 0, 10, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gae::sim

@@ -1,0 +1,102 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace gae {
+namespace {
+
+TEST(Config, ParsesKeyValues) {
+  auto cfg = Config::parse("a = 1\nb=hello\n c  =  2.5 \n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg.value().get_int("a", 0), 1);
+  EXPECT_EQ(cfg.value().get_string("b", ""), "hello");
+  EXPECT_DOUBLE_EQ(cfg.value().get_double("c", 0), 2.5);
+}
+
+TEST(Config, CommentsAndBlankLines) {
+  auto cfg = Config::parse("# comment\n\n; also comment\nkey = v\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg.value().values().size(), 1u);
+  EXPECT_EQ(cfg.value().get_string("key", ""), "v");
+}
+
+TEST(Config, SectionsPrefixKeys) {
+  auto cfg = Config::parse("[grid]\nsites = 3\n[steering]\nauto = true\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg.value().get_int("grid.sites", 0), 3);
+  EXPECT_TRUE(cfg.value().get_bool("steering.auto", false));
+}
+
+TEST(Config, BoolParsing) {
+  auto cfg = Config::parse("a=yes\nb=off\nc=TRUE\nd=0\ne=maybe\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_TRUE(cfg.value().get_bool("a", false));
+  EXPECT_FALSE(cfg.value().get_bool("b", true));
+  EXPECT_TRUE(cfg.value().get_bool("c", false));
+  EXPECT_FALSE(cfg.value().get_bool("d", true));
+  EXPECT_TRUE(cfg.value().get_bool("e", true));  // unparseable -> fallback
+}
+
+TEST(Config, MalformedLineRejected) {
+  EXPECT_FALSE(Config::parse("novalue\n").is_ok());
+  EXPECT_FALSE(Config::parse("= empty key\n").is_ok());
+  EXPECT_FALSE(Config::parse("[unterminated\n").is_ok());
+}
+
+TEST(Config, FallbacksForMissingAndUnparseable) {
+  auto cfg = Config::parse("x = notanumber\n");
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg.value().get_int("x", 99), 99);
+  EXPECT_EQ(cfg.value().get_int("missing", -1), -1);
+  EXPECT_EQ(cfg.value().get_string("missing", "d"), "d");
+}
+
+TEST(Config, SetAndHas) {
+  Config cfg;
+  EXPECT_FALSE(cfg.has("k"));
+  cfg.set("k", "v");
+  EXPECT_TRUE(cfg.has("k"));
+  EXPECT_EQ(cfg.get_string("k", ""), "v");
+}
+
+TEST(Config, LoadFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gae_config_test.ini";
+  {
+    std::ofstream out(path);
+    out << "[sim]\nseed = 42\n";
+  }
+  auto cfg = Config::load_file(path);
+  ASSERT_TRUE(cfg.is_ok());
+  EXPECT_EQ(cfg.value().get_int("sim.seed", 0), 42);
+  std::remove(path.c_str());
+}
+
+TEST(Config, LoadMissingFileIsNotFound) {
+  auto cfg = Config::load_file("/nonexistent/path/nope.ini");
+  ASSERT_FALSE(cfg.is_ok());
+  EXPECT_EQ(cfg.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Status, ToStringFormats) {
+  EXPECT_EQ(Status::ok().to_string(), "OK");
+  EXPECT_EQ(not_found_error("x").to_string(), "NOT_FOUND: x");
+  EXPECT_EQ(Status(StatusCode::kInternal, "").to_string(), "INTERNAL");
+}
+
+TEST(Result, ValueAndStatusPaths) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(1), 7);
+
+  Result<int> bad(invalid_argument_error("nope"));
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.value_or(5), 5);
+}
+
+}  // namespace
+}  // namespace gae

@@ -1,0 +1,173 @@
+// Grid PKI: certificate issuance, proxy delegation, chain verification, and
+// certificate-based login; plus VO-group access control.
+#include "clarens/credentials.h"
+
+#include <gtest/gtest.h>
+
+#include "clarens/access_control.h"
+#include "clarens/auth.h"
+#include "common/clock.h"
+
+namespace gae::clarens {
+namespace {
+
+TEST(SubjectCn, Parsing) {
+  EXPECT_EQ(subject_cn("/O=GAE/CN=alice"), "alice");
+  EXPECT_EQ(subject_cn("/O=GAE/CN=alice/proxy"), "alice");
+  EXPECT_EQ(subject_cn("/O=GAE"), "");
+}
+
+class CredentialsTest : public ::testing::Test {
+ protected:
+  CredentialsTest() : ca_("GAE-CA") {}
+  CertificateAuthority ca_;
+};
+
+TEST_F(CredentialsTest, IssueAndVerifyUserCert) {
+  const auto cred = ca_.issue("alice", from_seconds(3600));
+  EXPECT_EQ(cred.certificate.subject, "/O=GAE/CN=alice");
+  EXPECT_EQ(cred.certificate.issuer, "GAE-CA");
+  EXPECT_FALSE(cred.certificate.is_proxy);
+
+  auto cn = ca_.verify_chain({cred.certificate}, from_seconds(100));
+  ASSERT_TRUE(cn.is_ok()) << cn.status();
+  EXPECT_EQ(cn.value(), "alice");
+}
+
+TEST_F(CredentialsTest, ExpiredCertRejected) {
+  const auto cred = ca_.issue("alice", from_seconds(100));
+  auto r = ca_.verify_chain({cred.certificate}, from_seconds(101));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnauthenticated);
+}
+
+TEST_F(CredentialsTest, TamperedCertRejected) {
+  auto cred = ca_.issue("alice", from_seconds(3600));
+  cred.certificate.subject = "/O=GAE/CN=mallory";  // forge identity
+  auto r = ca_.verify_chain({cred.certificate}, 0);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(CredentialsTest, ForeignCaRejected) {
+  CertificateAuthority other("EVIL-CA");
+  const auto cred = other.issue("alice", from_seconds(3600));
+  auto r = ca_.verify_chain({cred.certificate}, 0);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(CredentialsTest, ProxyDelegationChain) {
+  const auto user = ca_.issue("alice", from_seconds(3600), /*delegation_budget=*/2);
+  auto proxy1 = CertificateAuthority::delegate(user, from_seconds(1800));
+  ASSERT_TRUE(proxy1.is_ok());
+  EXPECT_TRUE(proxy1.value().certificate.is_proxy);
+  EXPECT_EQ(proxy1.value().certificate.delegation_budget, 1);
+
+  auto proxy2 = CertificateAuthority::delegate(proxy1.value(), from_seconds(900));
+  ASSERT_TRUE(proxy2.is_ok());
+
+  // Full chain verifies to the base identity.
+  auto cn = ca_.verify_chain({proxy2.value().certificate, proxy1.value().certificate,
+                              user.certificate},
+                             from_seconds(100));
+  ASSERT_TRUE(cn.is_ok()) << cn.status();
+  EXPECT_EQ(cn.value(), "alice");
+
+  // A third delegation exceeds the budget.
+  auto proxy3 = CertificateAuthority::delegate(proxy2.value(), from_seconds(100));
+  ASSERT_FALSE(proxy3.is_ok());
+  EXPECT_EQ(proxy3.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CredentialsTest, ProxyCannotOutliveParent) {
+  const auto user = ca_.issue("alice", from_seconds(1000));
+  // delegate() clamps the proxy's expiry to the parent's.
+  auto proxy = CertificateAuthority::delegate(user, from_seconds(5000));
+  ASSERT_TRUE(proxy.is_ok());
+  EXPECT_EQ(proxy.value().certificate.not_after, from_seconds(1000));
+  // Hand-extending the expiry breaks the signature.
+  auto forged = proxy.value();
+  forged.certificate.not_after = from_seconds(5000);
+  auto r = ca_.verify_chain({forged.certificate, user.certificate}, from_seconds(100));
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST_F(CredentialsTest, BrokenChainRejected) {
+  const auto alice = ca_.issue("alice", from_seconds(3600));
+  const auto bob = ca_.issue("bob", from_seconds(3600));
+  auto alice_proxy = CertificateAuthority::delegate(alice, from_seconds(1800));
+  ASSERT_TRUE(alice_proxy.is_ok());
+  // alice's proxy presented over bob's base cert: issuer linkage fails.
+  auto r = ca_.verify_chain({alice_proxy.value().certificate, bob.certificate},
+                            from_seconds(10));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(CredentialsTest, EmptyChainAndProxyOnlyRejected) {
+  EXPECT_FALSE(ca_.verify_chain({}, 0).is_ok());
+  const auto user = ca_.issue("alice", from_seconds(3600));
+  auto proxy = CertificateAuthority::delegate(user, from_seconds(1800));
+  ASSERT_TRUE(proxy.is_ok());
+  // Proxy without its base certificate cannot be verified.
+  EXPECT_FALSE(ca_.verify_chain({proxy.value().certificate}, 0).is_ok());
+}
+
+TEST_F(CredentialsTest, CertificateLoginMintsSession) {
+  ManualClock clock;
+  AuthService auth(clock);
+  auth.trust(&ca_);
+  const auto cred = ca_.issue("alice", from_seconds(3600));
+  auto proxy = CertificateAuthority::delegate(cred, from_seconds(1800));
+  ASSERT_TRUE(proxy.is_ok());
+
+  auto token = auth.login_with_chain({proxy.value().certificate, cred.certificate});
+  ASSERT_TRUE(token.is_ok()) << token.status();
+  auto user = auth.authenticate(token.value());
+  ASSERT_TRUE(user.is_ok());
+  EXPECT_EQ(user.value(), "alice");
+}
+
+TEST_F(CredentialsTest, CertificateLoginWithoutTrustedCaFails) {
+  ManualClock clock;
+  AuthService auth(clock);
+  const auto cred = ca_.issue("alice", from_seconds(3600));
+  EXPECT_EQ(auth.login_with_chain({cred.certificate}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AccessControlGroups, GroupMembershipRules) {
+  AccessControl acl;
+  acl.add_group_member("cms", "alice");
+  acl.add_group_member("cms", "bob");
+  acl.allow("group:cms", "jobmon.");
+  EXPECT_TRUE(acl.check("alice", "jobmon.info"));
+  EXPECT_TRUE(acl.check("bob", "jobmon.info"));
+  EXPECT_FALSE(acl.check("eve", "jobmon.info"));
+  EXPECT_TRUE(acl.is_member("cms", "alice"));
+  EXPECT_FALSE(acl.is_member("cms", "eve"));
+  EXPECT_FALSE(acl.is_member("atlas", "alice"));
+}
+
+TEST(AccessControlGroups, UserRuleBeatsGroupRuleAtSameLength) {
+  AccessControl acl;
+  acl.add_group_member("cms", "alice");
+  acl.allow("group:cms", "steering.");
+  acl.deny("alice", "steering.");
+  EXPECT_FALSE(acl.check("alice", "steering.kill"));  // personal deny wins
+  acl.add_group_member("cms", "bob");
+  EXPECT_TRUE(acl.check("bob", "steering.kill"));
+}
+
+TEST(AccessControlGroups, GroupRuleBeatsWildcardAtSameLength) {
+  AccessControl acl;
+  acl.add_group_member("ops", "carol");
+  acl.deny("*", "quota.");
+  acl.allow("group:ops", "quota.");
+  EXPECT_TRUE(acl.check("carol", "quota.grant"));
+  EXPECT_FALSE(acl.check("dave", "quota.grant"));
+}
+
+}  // namespace
+}  // namespace gae::clarens

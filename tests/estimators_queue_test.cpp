@@ -1,0 +1,155 @@
+#include "estimators/queue_time_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/load.h"
+
+namespace gae::estimators {
+namespace {
+
+exec::TaskSpec spec(const std::string& id, double work, int priority = 0) {
+  exec::TaskSpec s;
+  s.id = id;
+  s.work_seconds = work;
+  s.priority = priority;
+  return s;
+}
+
+class QueueEstimatorTest : public ::testing::Test {
+ protected:
+  QueueEstimatorTest() {
+    grid_.add_site("s").add_node("n0", 1.0, nullptr);
+    service_ = std::make_unique<exec::ExecutionService>(sim_, grid_, "s");
+    db_ = std::make_shared<EstimateDatabase>();
+  }
+
+  sim::Simulation sim_;
+  sim::Grid grid_;
+  std::unique_ptr<exec::ExecutionService> service_;
+  std::shared_ptr<EstimateDatabase> db_;
+};
+
+TEST_F(QueueEstimatorTest, UnknownTaskIsError) {
+  QueueTimeEstimator est(*service_, db_);
+  EXPECT_EQ(est.estimate("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueueEstimatorTest, RunningTaskWaitsZero) {
+  ASSERT_TRUE(service_->submit(spec("t1", 100)).is_ok());
+  sim_.run_until(from_seconds(1));
+  QueueTimeEstimator est(*service_, db_);
+  auto r = est.estimate("t1");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r.value().seconds, 0.0);
+  EXPECT_EQ(r.value().tasks_ahead, 0u);
+}
+
+TEST_F(QueueEstimatorTest, SumsRemainingOfTasksAhead) {
+  // running (est 100), then high-priority queued (est 50), then the target.
+  ASSERT_TRUE(service_->submit(spec("running", 100, 0)).is_ok());
+  db_->put("running", 100);
+  sim_.run_until(from_seconds(20));  // running has 20 s elapsed
+  ASSERT_TRUE(service_->submit(spec("high", 50, 5)).is_ok());
+  db_->put("high", 50);
+  ASSERT_TRUE(service_->submit(spec("target", 10, 1)).is_ok());
+
+  QueueTimeEstimator est(*service_, db_);
+  auto r = est.estimate("target");
+  ASSERT_TRUE(r.is_ok());
+  // running: 100 - 20 = 80 remaining; high: 50. Total 130.
+  EXPECT_NEAR(r.value().seconds, 130.0, 1e-6);
+  EXPECT_EQ(r.value().tasks_ahead, 2u);
+
+  // The paper's formula tracks the actual start time on a 1-node pool:
+  sim_.run();
+  const SimTime started = service_->query("target").value().start_time;
+  EXPECT_NEAR(to_seconds(started - from_seconds(20)), 130.0, 1.0);
+}
+
+TEST_F(QueueEstimatorTest, EqualPriorityAheadCountsByOption) {
+  ASSERT_TRUE(service_->submit(spec("running", 100)).is_ok());
+  db_->put("running", 100);
+  ASSERT_TRUE(service_->submit(spec("ahead", 30, 1)).is_ok());
+  db_->put("ahead", 30);
+  ASSERT_TRUE(service_->submit(spec("target", 10, 1)).is_ok());
+
+  QueueTimeOptions with;
+  with.include_equal_priority_ahead = true;
+  EXPECT_NEAR(QueueTimeEstimator(*service_, db_, with).estimate("target").value().seconds,
+              130.0, 1e-6);
+
+  QueueTimeOptions without;
+  without.include_equal_priority_ahead = false;
+  // Paper-faithful: only strictly higher priorities + running tasks.
+  EXPECT_NEAR(
+      QueueTimeEstimator(*service_, db_, without).estimate("target").value().seconds,
+      100.0, 1e-6);
+}
+
+TEST_F(QueueEstimatorTest, LowerPriorityQueuedTasksIgnored) {
+  ASSERT_TRUE(service_->submit(spec("running", 100)).is_ok());
+  db_->put("running", 100);
+  ASSERT_TRUE(service_->submit(spec("target", 10, 5)).is_ok());
+  ASSERT_TRUE(service_->submit(spec("low", 500, 0)).is_ok());
+  db_->put("low", 500);
+
+  QueueTimeEstimator est(*service_, db_);
+  EXPECT_NEAR(est.estimate("target").value().seconds, 100.0, 1e-6);
+}
+
+TEST_F(QueueEstimatorTest, SuspendedTasksDoNotCount) {
+  ASSERT_TRUE(service_->submit(spec("running", 100)).is_ok());
+  db_->put("running", 100);
+  ASSERT_TRUE(service_->submit(spec("parked", 300, 9)).is_ok());
+  db_->put("parked", 300);
+  ASSERT_TRUE(service_->suspend("parked").is_ok());
+  ASSERT_TRUE(service_->submit(spec("target", 10, 1)).is_ok());
+
+  QueueTimeEstimator est(*service_, db_);
+  EXPECT_NEAR(est.estimate("target").value().seconds, 100.0, 1e-6);
+}
+
+TEST_F(QueueEstimatorTest, FallbackEstimateForUnknownTasks) {
+  ASSERT_TRUE(service_->submit(spec("running", 100)).is_ok());
+  // No db entry for "running".
+  ASSERT_TRUE(service_->submit(spec("target", 10, 0)).is_ok());
+  QueueTimeOptions opts;
+  opts.fallback_estimate_seconds = 250.0;
+  QueueTimeEstimator est(*service_, db_, opts);
+  EXPECT_NEAR(est.estimate("target").value().seconds, 250.0, 1e-6);
+}
+
+TEST_F(QueueEstimatorTest, DivideByNodesSpreadsBacklog) {
+  sim::Grid grid;
+  auto& site = grid.add_site("multi");
+  site.add_node("n0", 1.0, nullptr);
+  site.add_node("n1", 1.0, nullptr);
+  exec::ExecutionService service(sim_, grid, "multi");
+  auto db = std::make_shared<EstimateDatabase>();
+
+  ASSERT_TRUE(service.submit(spec("r1", 100)).is_ok());
+  ASSERT_TRUE(service.submit(spec("r2", 100)).is_ok());
+  ASSERT_TRUE(service.submit(spec("q1", 100, 1)).is_ok());
+  ASSERT_TRUE(service.submit(spec("target", 10, 0)).is_ok());
+  for (const char* id : {"r1", "r2", "q1"}) db->put(id, 100);
+
+  QueueTimeOptions plain;
+  EXPECT_NEAR(QueueTimeEstimator(service, db, plain).estimate("target").value().seconds,
+              300.0, 1e-6);
+  QueueTimeOptions divided;
+  divided.divide_by_nodes = true;
+  EXPECT_NEAR(QueueTimeEstimator(service, db, divided).estimate("target").value().seconds,
+              150.0, 1e-6);
+}
+
+TEST_F(QueueEstimatorTest, OverdueTasksContributeZeroNotNegative) {
+  ASSERT_TRUE(service_->submit(spec("running", 100)).is_ok());
+  db_->put("running", 30);  // estimate was far too low
+  sim_.run_until(from_seconds(60));  // elapsed 60 > estimate 30
+  ASSERT_TRUE(service_->submit(spec("target", 10, 0)).is_ok());
+  QueueTimeEstimator est(*service_, db_);
+  EXPECT_DOUBLE_EQ(est.estimate("target").value().seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace gae::estimators

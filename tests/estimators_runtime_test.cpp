@@ -1,0 +1,279 @@
+#include "estimators/runtime_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "estimators/estimate_db.h"
+#include "estimators/recorder.h"
+#include "exec/execution_service.h"
+#include "workload/paragon_trace.h"
+#include "workload/task_generator.h"
+
+namespace gae::estimators {
+namespace {
+
+std::map<std::string, std::string> attrs(const std::string& exe, const std::string& login,
+                                         const std::string& queue, int nodes) {
+  return {{"executable", exe},
+          {"login", login},
+          {"queue", queue},
+          {"nodes", std::to_string(nodes)}};
+}
+
+TEST(TaskHistoryStore, AddAndCap) {
+  TaskHistoryStore store(3);
+  for (int i = 0; i < 5; ++i) {
+    store.add({{}, static_cast<double>(i), 0, true});
+  }
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_DOUBLE_EQ(store.entries().front().runtime_seconds, 2.0);  // oldest dropped
+  store.clear();
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(SimilarityTemplate, MatchesOnNamedKeys) {
+  SimilarityTemplate tmpl{{"executable", "login"}};
+  EXPECT_TRUE(tmpl.matches(attrs("a", "u", "q1", 4), attrs("a", "u", "q2", 8)));
+  EXPECT_FALSE(tmpl.matches(attrs("a", "u", "q", 4), attrs("a", "v", "q", 4)));
+  EXPECT_EQ(tmpl.name(), "executable+login");
+  EXPECT_EQ(SimilarityTemplate{}.name(), "(any)");
+}
+
+TEST(SimilarityTemplate, MissingAttributeNeverMatches) {
+  SimilarityTemplate tmpl{{"executable"}};
+  std::map<std::string, std::string> empty;
+  EXPECT_FALSE(tmpl.matches(empty, attrs("a", "u", "q", 1)));
+}
+
+TEST(SimilarityMatcher, PrefersMostSpecificTemplate) {
+  TaskHistoryStore store;
+  // 3 entries matching exe+login, plus noise from other users.
+  for (int i = 0; i < 3; ++i) store.add({attrs("a", "u", "q", 4), 100, 0, true});
+  for (int i = 0; i < 10; ++i) store.add({attrs("a", "other", "q", 4), 500, 0, true});
+
+  SimilarityMatcher matcher;
+  auto match = matcher.find_similar(store, attrs("a", "u", "q", 4), 3);
+  EXPECT_EQ(match.entries.size(), 3u);
+  EXPECT_EQ(match.template_name, "executable+login+queue+nodes");
+}
+
+TEST(SimilarityMatcher, FallsBackWhenTooFewMatches) {
+  TaskHistoryStore store;
+  store.add({attrs("a", "u", "q", 4), 100, 0, true});  // only one exact match
+  for (int i = 0; i < 5; ++i) store.add({attrs("a", "v", "q", 8), 200, 0, true});
+
+  SimilarityMatcher matcher;
+  auto match = matcher.find_similar(store, attrs("a", "u", "q", 4), 3);
+  // Fell through to the "executable" template: all 6 entries share it.
+  EXPECT_EQ(match.template_name, "executable");
+  EXPECT_EQ(match.entries.size(), 6u);
+}
+
+TEST(SimilarityMatcher, UnsuccessfulEntriesExcluded) {
+  TaskHistoryStore store;
+  store.add({attrs("a", "u", "q", 4), 100, 0, true});
+  store.add({attrs("a", "u", "q", 4), 5, 0, false});  // crashed run
+  SimilarityMatcher matcher;
+  auto match = matcher.find_similar(store, attrs("a", "u", "q", 4), 1);
+  EXPECT_EQ(match.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(match.entries[0]->runtime_seconds, 100.0);
+}
+
+TEST(SimilarityMatcher, EmptyHistoryYieldsEmptyMatch) {
+  TaskHistoryStore store;
+  SimilarityMatcher matcher;
+  EXPECT_TRUE(matcher.find_similar(store, attrs("a", "u", "q", 1), 1).entries.empty());
+}
+
+TEST(RuntimeEstimator, EmptyHistoryIsError) {
+  RuntimeEstimator est(std::make_shared<TaskHistoryStore>());
+  auto r = est.estimate(attrs("a", "u", "q", 1));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RuntimeEstimator, MeanEstimate) {
+  auto store = std::make_shared<TaskHistoryStore>();
+  RuntimeEstimatorOptions opts;
+  opts.kind = EstimatorKind::kMean;
+  RuntimeEstimator est(store, SimilarityMatcher(), opts);
+  est.record(attrs("a", "u", "q", 4), 90, 0);
+  est.record(attrs("a", "u", "q", 4), 110, 0);
+  est.record(attrs("a", "u", "q", 4), 100, 0);
+
+  auto r = est.estimate(attrs("a", "u", "q", 4));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r.value().seconds, 100.0);
+  EXPECT_EQ(r.value().samples, 3u);
+  EXPECT_EQ(r.value().used, EstimatorKind::kMean);
+  EXPECT_GT(r.value().stddev, 0.0);
+}
+
+TEST(RuntimeEstimator, LinearRegressionOnNodes) {
+  auto store = std::make_shared<TaskHistoryStore>();
+  RuntimeEstimatorOptions opts;
+  opts.kind = EstimatorKind::kLinearRegression;
+  RuntimeEstimator est(store, SimilarityMatcher(), opts);
+  // Perfectly linear: runtime = 1000 - 50 * nodes.
+  for (int nodes : {2, 4, 8, 16}) {
+    est.record(attrs("a", "u", "q", nodes), 1000.0 - 50.0 * nodes, 0);
+  }
+  auto r = est.estimate(attrs("a", "u", "q", 12));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().used, EstimatorKind::kLinearRegression);
+  EXPECT_NEAR(r.value().seconds, 400.0, 1e-6);
+}
+
+TEST(RuntimeEstimator, RegressionRejectsNonPositivePrediction) {
+  auto store = std::make_shared<TaskHistoryStore>();
+  RuntimeEstimatorOptions opts;
+  opts.kind = EstimatorKind::kLinearRegression;
+  RuntimeEstimator est(store, SimilarityMatcher(), opts);
+  for (int nodes : {2, 4, 8}) {
+    est.record(attrs("a", "u", "q", nodes), 100.0 - 12.0 * nodes, 0);
+  }
+  // Extrapolating to 16 nodes would be negative: falls back to the mean.
+  auto r = est.estimate(attrs("a", "u", "q", 16));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().used, EstimatorKind::kMean);
+  EXPECT_GT(r.value().seconds, 0.0);
+}
+
+TEST(RuntimeEstimator, HybridUsesRegressionOnlyWithGoodFit) {
+  RuntimeEstimatorOptions opts;
+  opts.kind = EstimatorKind::kHybrid;
+  opts.min_r_squared = 0.5;
+
+  {
+    // Clean linear trend: hybrid takes the regression.
+    RuntimeEstimator est(std::make_shared<TaskHistoryStore>(), SimilarityMatcher(), opts);
+    for (int nodes : {1, 2, 3, 4, 5}) {
+      est.record(attrs("a", "u", "q", nodes), 100.0 * nodes, 0);
+    }
+    auto r = est.estimate(attrs("a", "u", "q", 6));
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().used, EstimatorKind::kLinearRegression);
+    EXPECT_NEAR(r.value().seconds, 600.0, 1e-6);
+  }
+  {
+    // No relation between nodes and runtime: hybrid stays with the mean.
+    RuntimeEstimator est(std::make_shared<TaskHistoryStore>(), SimilarityMatcher(), opts);
+    est.record(attrs("a", "u", "q", 1), 500, 0);
+    est.record(attrs("a", "u", "q", 8), 480, 0);
+    est.record(attrs("a", "u", "q", 2), 520, 0);
+    est.record(attrs("a", "u", "q", 6), 510, 0);
+    est.record(attrs("a", "u", "q", 3), 490, 0);
+    auto r = est.estimate(attrs("a", "u", "q", 4));
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().used, EstimatorKind::kMean);
+    EXPECT_NEAR(r.value().seconds, 500.0, 1.0);
+  }
+}
+
+TEST(RuntimeEstimator, NonNumericRegressionAttributeFallsBack) {
+  RuntimeEstimatorOptions opts;
+  opts.kind = EstimatorKind::kLinearRegression;
+  RuntimeEstimator est(std::make_shared<TaskHistoryStore>(), SimilarityMatcher(), opts);
+  std::map<std::string, std::string> a = {{"executable", "x"}, {"nodes", "many"}};
+  est.record(a, 10, 0);
+  est.record(a, 20, 0);
+  est.record(a, 30, 0);
+  auto r = est.estimate(a);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().used, EstimatorKind::kMean);
+  EXPECT_DOUBLE_EQ(r.value().seconds, 20.0);
+}
+
+// End-to-end accuracy on a synthetic Paragon trace: the fig. 5 regime.
+TEST(RuntimeEstimator, TraceAccuracyInPaperRegime) {
+  Rng rng(2005);
+  workload::PopulationOptions popts;
+  popts.num_applications = 12;
+  popts.sigma_within = 0.16;
+  auto pop = workload::ApplicationPopulation::make(rng, popts);
+  workload::TraceOptions topts;
+  topts.num_records = 120;
+  topts.failure_rate = 0.0;
+  const auto trace = workload::generate_trace(pop, rng, topts);
+
+  auto store = std::make_shared<TaskHistoryStore>();
+  RuntimeEstimatorOptions eopts;
+  eopts.min_matches = 2;
+  RuntimeEstimator est(store, SimilarityMatcher(), eopts);
+  for (std::size_t i = 0; i < 100; ++i) {
+    est.record(workload::record_attributes(trace[i]), trace[i].runtime_seconds(),
+               trace[i].complete_time);
+  }
+
+  double total_abs_pct_error = 0;
+  for (std::size_t i = 100; i < 120; ++i) {
+    auto r = est.estimate(workload::record_attributes(trace[i]));
+    ASSERT_TRUE(r.is_ok());
+    const double actual = trace[i].runtime_seconds();
+    total_abs_pct_error += std::abs(actual - r.value().seconds) / actual * 100.0;
+  }
+  const double mean_error = total_abs_pct_error / 20.0;
+  // Paper reports 13.53%; accept the same order of magnitude.
+  EXPECT_LT(mean_error, 40.0);
+}
+
+TEST(SiteRuntimeRecorder, RecordsCompletionsIntoHistory) {
+  sim::Simulation sim;
+  sim::Grid grid;
+  grid.add_site("s").add_node("n0", 1.0, nullptr);
+  exec::ExecutionService service(sim, grid, "s");
+
+  auto store = std::make_shared<TaskHistoryStore>();
+  auto estimator = std::make_shared<RuntimeEstimator>(store);
+  SiteRuntimeRecorder recorder(service, estimator);
+
+  exec::TaskSpec spec;
+  spec.id = "t1";
+  spec.work_seconds = 42.0;
+  spec.attributes = attrs("a", "u", "q", 1);
+  ASSERT_TRUE(service.submit(spec).is_ok());
+  sim.run();
+
+  EXPECT_EQ(recorder.recorded(), 1u);
+  ASSERT_EQ(store->size(), 1u);
+  EXPECT_NEAR(store->entries()[0].runtime_seconds, 42.0, 1e-6);
+  EXPECT_TRUE(store->entries()[0].successful);
+
+  // A subsequent estimate for the same attributes hits this history.
+  auto r = estimator->estimate(attrs("a", "u", "q", 1));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_NEAR(r.value().seconds, 42.0, 1e-6);
+}
+
+TEST(SiteRuntimeRecorder, FailedTasksRecordedUnsuccessful) {
+  sim::Simulation sim;
+  sim::Grid grid;
+  grid.add_site("s").add_node("n0", 1.0, nullptr);
+  exec::ExecutionService service(sim, grid, "s");
+  auto store = std::make_shared<TaskHistoryStore>();
+  SiteRuntimeRecorder recorder(service, std::make_shared<RuntimeEstimator>(store));
+
+  exec::TaskSpec spec;
+  spec.id = "t1";
+  spec.work_seconds = 100.0;
+  ASSERT_TRUE(service.submit(spec).is_ok());
+  sim.run_until(from_seconds(10));
+  service.inject_task_failure("t1", "oops");
+  ASSERT_EQ(store->size(), 1u);
+  EXPECT_FALSE(store->entries()[0].successful);
+}
+
+TEST(EstimateDatabase, PutGetErase) {
+  EstimateDatabase db;
+  EXPECT_FALSE(db.get("t1").is_ok());
+  db.put("t1", 120.0);
+  EXPECT_TRUE(db.has("t1"));
+  EXPECT_DOUBLE_EQ(db.get("t1").value(), 120.0);
+  db.put("t1", 150.0);  // overwrite
+  EXPECT_DOUBLE_EQ(db.get("t1").value(), 150.0);
+  db.erase("t1");
+  EXPECT_FALSE(db.has("t1"));
+  EXPECT_EQ(db.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gae::estimators

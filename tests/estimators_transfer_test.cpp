@@ -1,0 +1,106 @@
+#include "estimators/transfer_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace gae::estimators {
+namespace {
+
+class TransferTest : public ::testing::Test {
+ protected:
+  TransferTest() {
+    grid_.add_site("a");
+    grid_.add_site("b");
+    grid_.set_default_link({100e6, from_millis(20)});  // 100 MB/s, 20 ms
+  }
+  sim::Grid grid_;
+};
+
+TEST_F(TransferTest, PerfectProbeMatchesLink) {
+  TransferEstimatorOptions opts;
+  opts.probe_noise = 0.0;
+  FileTransferEstimator est(grid_, opts);
+  auto r = est.estimate("a", "b", 200'000'000, 0);
+  ASSERT_TRUE(r.is_ok());
+  // 2 s transfer + 20 ms latency.
+  EXPECT_NEAR(r.value().seconds, 2.02, 1e-9);
+  EXPECT_DOUBLE_EQ(r.value().bandwidth_bytes_per_sec, 100e6);
+}
+
+TEST_F(TransferTest, SameSiteIsFree) {
+  FileTransferEstimator est(grid_);
+  auto r = est.estimate("a", "a", 1'000'000'000, 0);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_DOUBLE_EQ(r.value().seconds, 0.0);
+}
+
+TEST_F(TransferTest, UnknownSitesRejected) {
+  FileTransferEstimator est(grid_);
+  EXPECT_EQ(est.estimate("a", "zz", 1, 0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(est.estimate("zz", "a", 1, 0).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TransferTest, NoisyProbeStaysCloseToTruth) {
+  TransferEstimatorOptions opts;
+  opts.probe_noise = 0.05;
+  opts.probe_ttl_seconds = 0.0;  // re-probe every call
+  FileTransferEstimator est(grid_, opts);
+  double sum = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    auto r = est.estimate("a", "b", 100'000'000, from_seconds(i + 1));
+    ASSERT_TRUE(r.is_ok());
+    sum += r.value().bandwidth_bytes_per_sec;
+  }
+  EXPECT_NEAR(sum / n, 100e6, 5e6);  // unbiased around the true bandwidth
+}
+
+TEST_F(TransferTest, ProbeCachedWithinTtl) {
+  TransferEstimatorOptions opts;
+  opts.probe_noise = 0.2;
+  opts.probe_ttl_seconds = 300.0;
+  FileTransferEstimator est(grid_, opts);
+
+  auto first = est.estimate("a", "b", 1'000'000, 0);
+  ASSERT_TRUE(first.is_ok());
+  auto again = est.estimate("a", "b", 1'000'000, from_seconds(100));
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_DOUBLE_EQ(first.value().bandwidth_bytes_per_sec,
+                   again.value().bandwidth_bytes_per_sec);  // cached
+
+  auto cached = est.cached_bandwidth("a", "b");
+  ASSERT_TRUE(cached.is_ok());
+  EXPECT_DOUBLE_EQ(cached.value(), first.value().bandwidth_bytes_per_sec);
+  EXPECT_FALSE(est.cached_bandwidth("b", "a").is_ok());
+}
+
+TEST_F(TransferTest, ProbeRefreshedAfterTtl) {
+  TransferEstimatorOptions opts;
+  opts.probe_noise = 0.2;
+  opts.probe_ttl_seconds = 60.0;
+  FileTransferEstimator est(grid_, opts);
+  auto first = est.estimate("a", "b", 1, 0);
+  auto later = est.estimate("a", "b", 1, from_seconds(120));
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(later.is_ok());
+  EXPECT_NE(first.value().bandwidth_bytes_per_sec, later.value().bandwidth_bytes_per_sec);
+}
+
+TEST_F(TransferTest, EstimateScalesLinearlyWithSize) {
+  TransferEstimatorOptions opts;
+  opts.probe_noise = 0.0;
+  FileTransferEstimator est(grid_, opts);
+  const double t1 = est.estimate("a", "b", 100'000'000, 0).value().seconds;
+  const double t2 = est.estimate("a", "b", 200'000'000, 0).value().seconds;
+  // Latency aside, doubling the size doubles the transfer portion.
+  EXPECT_NEAR(t2 - t1, 1.0, 1e-9);
+}
+
+TEST(LoopbackBandwidth, MeasuresSomethingPlausible) {
+  auto bw = measure_loopback_bandwidth(8'000'000);  // 8 MB through loopback
+  ASSERT_TRUE(bw.is_ok()) << bw.status();
+  // Loopback should beat 10 MB/s on any machine this runs on.
+  EXPECT_GT(bw.value(), 10e6);
+}
+
+}  // namespace
+}  // namespace gae::estimators

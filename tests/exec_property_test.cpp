@@ -1,0 +1,158 @@
+// Property-based checks on the execution service's accounting invariants,
+// swept over random workloads and load profiles.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/execution_service.h"
+#include "sim/load.h"
+
+namespace gae::exec {
+namespace {
+
+struct Scenario {
+  std::uint64_t seed;
+  int tasks;
+  int nodes;
+};
+
+class ExecPropertyTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ExecPropertyTest, AccountingInvariantsHold) {
+  const Scenario sc = GetParam();
+  Rng rng(sc.seed);
+
+  sim::Simulation sim;
+  sim::Grid grid;
+  auto& site = grid.add_site("s");
+  for (int n = 0; n < sc.nodes; ++n) {
+    // Mixed load profiles, including time-varying ones.
+    std::shared_ptr<sim::LoadProfile> profile;
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        profile = std::make_shared<sim::ConstantLoad>(rng.uniform(0.0, 0.8));
+        break;
+      case 1:
+        profile = std::make_shared<sim::PeriodicLoad>(
+            rng.uniform(0.0, 0.3), rng.uniform(0.4, 0.9),
+            from_seconds(rng.uniform(5, 60)), from_seconds(rng.uniform(5, 60)));
+        break;
+      default:
+        profile = std::shared_ptr<sim::LoadProfile>(sim::make_random_walk_load(
+            rng.fork("walk" + std::to_string(n)), 0.0, 0.9, from_seconds(20),
+            from_seconds(20000)));
+    }
+    site.add_node("n" + std::to_string(n), rng.uniform(0.5, 2.0), profile);
+  }
+
+  ExecutionService exec(sim, grid, "s");
+  std::vector<double> works;
+  for (int i = 0; i < sc.tasks; ++i) {
+    TaskSpec spec;
+    spec.id = "t" + std::to_string(i);
+    spec.job_id = "job";
+    spec.owner = "u";
+    spec.work_seconds = rng.uniform(1.0, 300.0);
+    spec.priority = static_cast<int>(rng.uniform_int(0, 3));
+    works.push_back(spec.work_seconds);
+    ASSERT_TRUE(exec.submit(spec).is_ok());
+  }
+
+  sim.run();
+
+  for (int i = 0; i < sc.tasks; ++i) {
+    auto info = exec.query("t" + std::to_string(i));
+    ASSERT_TRUE(info.is_ok());
+    const TaskInfo& t = info.value();
+
+    // Everything completes (no failures configured).
+    EXPECT_EQ(t.state, TaskState::kCompleted) << t.spec.id;
+
+    // CPU accounting lands exactly on the requested work.
+    EXPECT_NEAR(t.cpu_seconds_used, works[static_cast<std::size_t>(i)], 1e-6);
+    EXPECT_DOUBLE_EQ(t.progress, 1.0);
+
+    // Causality: submit <= start <= completion.
+    EXPECT_LE(t.submit_time, t.start_time);
+    EXPECT_LT(t.start_time, t.completion_time);
+
+    // Wall time running >= work / max-possible-rate. With speeds <= 2.0 the
+    // run cannot take less than work/2 wall seconds.
+    const double wall = to_seconds(t.completion_time - t.start_time);
+    EXPECT_GE(wall + 1e-6, works[static_cast<std::size_t>(i)] / 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExecPropertyTest,
+    ::testing::Values(Scenario{1, 5, 1}, Scenario{2, 10, 2}, Scenario{3, 20, 3},
+                      Scenario{4, 30, 4}, Scenario{5, 8, 8}, Scenario{6, 40, 2},
+                      Scenario{7, 15, 5}, Scenario{8, 25, 1}));
+
+/// Determinism: the same scenario replayed twice yields identical timings.
+TEST(ExecDeterminism, IdenticalRunsProduceIdenticalTimelines) {
+  auto run_once = [] {
+    sim::Simulation sim;
+    sim::Grid grid;
+    auto& site = grid.add_site("s");
+    site.add_node("n0", 1.0,
+                  std::make_shared<sim::PeriodicLoad>(0.1, 0.7, from_seconds(13),
+                                                      from_seconds(7)));
+    site.add_node("n1", 1.3, std::make_shared<sim::ConstantLoad>(0.2));
+    ExecutionService exec(sim, grid, "s");
+    for (int i = 0; i < 12; ++i) {
+      TaskSpec spec;
+      spec.id = "t" + std::to_string(i);
+      spec.work_seconds = 10.0 + 7.0 * i;
+      spec.priority = i % 3;
+      exec.submit(spec);
+    }
+    sim.run();
+    std::vector<SimTime> completions;
+    for (const auto& info : exec.list_tasks()) completions.push_back(info.completion_time);
+    return completions;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+/// Priority inversion never happens among queued tasks: a task never starts
+/// while a strictly higher-priority task is still queued.
+TEST(ExecOrdering, NoPriorityInversionAtDispatch) {
+  sim::Simulation sim;
+  sim::Grid grid;
+  grid.add_site("s").add_node("n0", 1.0, nullptr);
+  ExecutionService exec(sim, grid, "s");
+
+  std::vector<std::pair<std::string, int>> start_order;
+  exec.subscribe([&](const TaskEvent& ev) {
+    if (ev.new_state == TaskState::kStaging) {
+      auto info = exec.query(ev.task_id);
+      start_order.emplace_back(ev.task_id, info.value().spec.priority);
+    }
+  });
+
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    TaskSpec spec;
+    spec.id = "t" + std::to_string(i);
+    spec.work_seconds = rng.uniform(1, 5);
+    spec.priority = static_cast<int>(rng.uniform_int(0, 4));
+    ASSERT_TRUE(exec.submit(spec).is_ok());
+  }
+  sim.run();
+
+  // After the first dispatch (which happens per-submit), priorities of
+  // subsequent starts must be non-increasing *per wave*: verify weaker but
+  // robust invariant -- every started task had max priority among then-queued.
+  // Since all tasks were submitted at t=0 before any completion, the start
+  // order from the second task onwards must be sorted by priority desc.
+  ASSERT_EQ(start_order.size(), 20u);
+  for (std::size_t i = 2; i < start_order.size(); ++i) {
+    EXPECT_GE(start_order[i - 1].second, start_order[i].second)
+        << start_order[i - 1].first << " before " << start_order[i].first;
+  }
+}
+
+}  // namespace
+}  // namespace gae::exec

@@ -1,0 +1,125 @@
+#include "gridfile/file_service.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace gae::gridfile {
+namespace {
+
+using rpc::Value;
+
+class FileServiceTest : public ::testing::Test {
+ protected:
+  FileServiceTest() : host_("file-host", clock_, open_options()) {
+    grid_.add_site("cern");
+    grid_.site("cern").store_file("result.out", 1000);
+    grid_.site("cern").store_file("result.log", 50);
+    grid_.site("cern").store_file("other.dat", 5'000'000);
+    register_file_methods(host_, grid_, "cern");
+  }
+
+  static clarens::HostOptions open_options() {
+    clarens::HostOptions o;
+    o.require_auth = false;
+    return o;
+  }
+
+  ManualClock clock_;
+  sim::Grid grid_;
+  clarens::ClarensHost host_;
+};
+
+TEST_F(FileServiceTest, ListAllAndByPrefix) {
+  auto all = host_.call("file.list", {});
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(all.value().as_array().size(), 3u);
+
+  auto results = host_.call("file.list", {Value("result")});
+  ASSERT_TRUE(results.is_ok());
+  ASSERT_EQ(results.value().as_array().size(), 2u);
+  EXPECT_EQ(results.value().as_array()[0].get_string("name", ""), "result.log");
+  EXPECT_EQ(results.value().as_array()[0].get_int("bytes", 0), 50);
+}
+
+TEST_F(FileServiceTest, Stat) {
+  auto stat = host_.call("file.stat", {Value("result.out")});
+  ASSERT_TRUE(stat.is_ok());
+  EXPECT_EQ(stat.value().get_int("bytes", 0), 1000);
+  EXPECT_EQ(host_.call("file.stat", {Value("missing")}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(host_.call("file.stat", {}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FileServiceTest, ReadWholeFile) {
+  auto read = host_.call("file.read", {Value("result.out"), Value(0), Value(2000)});
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value().get_int("bytes", -1), 1000);  // clamped to file size
+  EXPECT_TRUE(read.value().get_bool("eof", false));
+  EXPECT_EQ(read.value().get_string("data", "").size(), 1000u);
+}
+
+TEST_F(FileServiceTest, ChunkedReadsComposeExactly) {
+  std::string assembled;
+  std::uint64_t offset = 0;
+  for (;;) {
+    auto chunk = host_.call("file.read", {Value("result.out"),
+                                          Value(static_cast<std::int64_t>(offset)),
+                                          Value(137)});
+    ASSERT_TRUE(chunk.is_ok());
+    assembled += chunk.value().get_string("data", "");
+    offset += static_cast<std::uint64_t>(chunk.value().get_int("bytes", 0));
+    if (chunk.value().get_bool("eof", false)) break;
+  }
+  ASSERT_EQ(assembled.size(), 1000u);
+  // One-shot read returns the identical bytes.
+  auto whole = host_.call("file.read", {Value("result.out"), Value(0), Value(1000)});
+  ASSERT_TRUE(whole.is_ok());
+  EXPECT_EQ(assembled, whole.value().get_string("data", ""));
+}
+
+TEST_F(FileServiceTest, ReadValidation) {
+  EXPECT_EQ(host_.call("file.read", {Value("result.out"), Value(1500), Value(10)})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // offset beyond EOF
+  EXPECT_EQ(host_.call("file.read", {Value("result.out"), Value(-1), Value(10)})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(host_.call("file.read", {Value("missing"), Value(0), Value(10)})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FileServiceTest, ReadChunkCap) {
+  auto read = host_.call("file.read", {Value("other.dat"), Value(0), Value(5'000'000)});
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value().get_int("bytes", 0),
+            static_cast<std::int64_t>(kMaxReadChunk));
+  EXPECT_FALSE(read.value().get_bool("eof", true));
+}
+
+TEST_F(FileServiceTest, RegistersInDiscovery) {
+  EXPECT_TRUE(host_.registry().lookup("file@cern").is_ok());
+}
+
+TEST(SynthesizeContent, DeterministicAndOffsetStable) {
+  const std::string a = synthesize_content("f.root", 0, 100);
+  const std::string b = synthesize_content("f.root", 0, 100);
+  EXPECT_EQ(a, b);
+  // A chunk starting mid-file matches the corresponding slice.
+  const std::string mid = synthesize_content("f.root", 40, 20);
+  EXPECT_EQ(mid, a.substr(40, 20));
+  // Different files differ.
+  EXPECT_NE(a, synthesize_content("g.root", 0, 100));
+  // Printable.
+  for (char c : a) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace gae::gridfile

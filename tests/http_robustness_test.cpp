@@ -1,0 +1,188 @@
+// Raw-socket robustness: the RPC server must survive malformed and hostile
+// inputs without hanging or crashing, and HTTP framing must round-trip.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/socket.h"
+#include "rpc/client.h"
+#include "rpc/http.h"
+#include "rpc/server.h"
+
+namespace gae::rpc {
+namespace {
+
+std::shared_ptr<Dispatcher> echo_dispatcher() {
+  auto d = std::make_shared<Dispatcher>();
+  d->register_method("echo", [](const Array& params, const CallContext&) -> Result<Value> {
+    return params.empty() ? Value() : params.front();
+  });
+  return d;
+}
+
+class RawSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<RpcServer>(echo_dispatcher(), ServerOptions{0, 2});
+    auto port = server_->start();
+    ASSERT_TRUE(port.is_ok());
+    port_ = port.value();
+  }
+
+  Result<net::TcpStream> connect() { return net::TcpStream::connect("127.0.0.1", port_); }
+
+  /// Sends raw bytes and reads whatever comes back until EOF (with timeout).
+  std::string send_raw(const std::string& bytes) {
+    auto conn = connect();
+    if (!conn.is_ok()) return "";
+    conn.value().set_recv_timeout_ms(2000);
+    conn.value().write_all(bytes);
+    conn.value().shutdown_write();
+    std::string response;
+    char buf[4096];
+    for (;;) {
+      auto r = conn.value().read_some(buf, sizeof(buf));
+      if (!r.is_ok() || r.value() == 0) break;
+      response.append(buf, r.value());
+    }
+    return response;
+  }
+
+  std::unique_ptr<RpcServer> server_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(RawSocketTest, GarbageRequestLineClosesConnection) {
+  const std::string resp = send_raw("NONSENSE\r\n\r\n");
+  // Server drops the connection without crashing; it stays serviceable.
+  RpcClient client("127.0.0.1", port_);
+  EXPECT_TRUE(client.call("echo", {Value(1)}).is_ok());
+  (void)resp;
+}
+
+TEST_F(RawSocketTest, ImmediateCloseHandled) {
+  { auto conn = connect(); }  // connect and slam shut
+  RpcClient client("127.0.0.1", port_);
+  EXPECT_TRUE(client.call("echo", {Value(1)}).is_ok());
+}
+
+TEST_F(RawSocketTest, OversizedContentLengthRejected) {
+  const std::string resp =
+      send_raw("POST /rpc HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n");
+  RpcClient client("127.0.0.1", port_);
+  EXPECT_TRUE(client.call("echo", {Value(1)}).is_ok());
+  (void)resp;
+}
+
+TEST_F(RawSocketTest, NonNumericContentLengthRejected) {
+  send_raw("POST /rpc HTTP/1.1\r\ncontent-length: banana\r\n\r\n");
+  RpcClient client("127.0.0.1", port_);
+  EXPECT_TRUE(client.call("echo", {Value(1)}).is_ok());
+}
+
+TEST_F(RawSocketTest, TruncatedBodyHandled) {
+  // Claims 100 bytes, sends 5, then closes.
+  send_raw("POST /rpc HTTP/1.1\r\ncontent-length: 100\r\n\r\nhello");
+  RpcClient client("127.0.0.1", port_);
+  EXPECT_TRUE(client.call("echo", {Value(1)}).is_ok());
+}
+
+TEST_F(RawSocketTest, BadXmlBodyYieldsFaultResponse) {
+  const std::string body = "this is not xml";
+  const std::string req = "POST /rpc HTTP/1.1\r\ncontent-type: text/xml\r\ncontent-length: " +
+                          std::to_string(body.size()) + "\r\nconnection: close\r\n\r\n" + body;
+  const std::string resp = send_raw(req);
+  EXPECT_NE(resp.find("200"), std::string::npos);  // HTTP-level success
+  EXPECT_NE(resp.find("fault"), std::string::npos);  // XML-RPC fault payload
+}
+
+TEST_F(RawSocketTest, HeaderBlockSizeCapEnforced) {
+  std::string huge = "POST /rpc HTTP/1.1\r\n";
+  huge.append(2 << 20, 'x');  // 2 MB of header garbage, no terminator
+  send_raw(huge);
+  RpcClient client("127.0.0.1", port_);
+  EXPECT_TRUE(client.call("echo", {Value(1)}).is_ok());
+}
+
+TEST(HttpFraming, RequestRoundTripOverSocket) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  auto client = net::TcpStream::connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.is_ok());
+  auto served = listener.value().accept();
+  ASSERT_TRUE(served.is_ok());
+
+  http::Request req;
+  req.method = "POST";
+  req.path = "/rpc";
+  req.headers["x-clarens-session"] = "tok";
+  req.body = "payload bytes";
+  ASSERT_TRUE(http::write_request(client.value(), req).is_ok());
+
+  auto got = http::read_request(served.value());
+  ASSERT_TRUE(got.is_ok()) << got.status();
+  EXPECT_EQ(got.value().method, "POST");
+  EXPECT_EQ(got.value().path, "/rpc");
+  EXPECT_EQ(got.value().header("x-clarens-session"), "tok");
+  EXPECT_EQ(got.value().header("X-CLARENS-SESSION"), "tok");  // case-insensitive
+  EXPECT_EQ(got.value().body, "payload bytes");
+  EXPECT_TRUE(got.value().keep_alive());
+}
+
+TEST(HttpFraming, ResponseRoundTripOverSocket) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  auto client = net::TcpStream::connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.is_ok());
+  auto served = listener.value().accept();
+  ASSERT_TRUE(served.is_ok());
+
+  http::Response resp;
+  resp.status_code = 404;
+  resp.reason = "Not Found";
+  resp.body = "nope";
+  ASSERT_TRUE(http::write_response(served.value(), resp, /*keep_alive=*/false).is_ok());
+
+  auto got = http::read_response(client.value());
+  ASSERT_TRUE(got.is_ok()) << got.status();
+  EXPECT_EQ(got.value().status_code, 404);
+  EXPECT_EQ(got.value().reason, "Not Found");
+  EXPECT_EQ(got.value().body, "nope");
+  EXPECT_EQ(got.value().header("content-length"), "4");
+}
+
+TEST(HttpFraming, EmptyBodyRequest) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  auto client = net::TcpStream::connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.is_ok());
+  auto served = listener.value().accept();
+  ASSERT_TRUE(served.is_ok());
+
+  http::Request req;
+  req.method = "GET";
+  req.path = "/status";
+  ASSERT_TRUE(http::write_request(client.value(), req).is_ok());
+  auto got = http::read_request(served.value());
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_TRUE(got.value().body.empty());
+}
+
+TEST(HttpFraming, ConnectionCloseHeaderRespected) {
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  auto client = net::TcpStream::connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.is_ok());
+  auto served = listener.value().accept();
+  ASSERT_TRUE(served.is_ok());
+
+  http::Request req;
+  req.headers["connection"] = "close";
+  ASSERT_TRUE(http::write_request(client.value(), req).is_ok());
+  auto got = http::read_request(served.value());
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_FALSE(got.value().keep_alive());
+}
+
+}  // namespace
+}  // namespace gae::rpc

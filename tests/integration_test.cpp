@@ -1,0 +1,210 @@
+// Whole-ensemble integration tests: scheduler + execution + estimators +
+// monitoring + steering cooperating inside one simulation, the way the GAE
+// deployment composes them.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "estimators/recorder.h"
+#include "jobmon/service.h"
+#include "monalisa/repository.h"
+#include "sim/load.h"
+#include "sphinx/scheduler.h"
+#include "steering/service.h"
+#include "workload/task_generator.h"
+
+namespace gae {
+namespace {
+
+/// A three-site grid with one heavily loaded site, full service stack, and
+/// per-site estimator history recorded live from completions.
+struct GridStack {
+  explicit GridStack(double loaded_site_load = 0.85, bool auto_steer = true) {
+    grid.add_site("cern").add_node("cern-0", 1.0,
+                                   std::make_shared<sim::ConstantLoad>(loaded_site_load));
+    grid.site("cern").add_node("cern-1", 1.0,
+                               std::make_shared<sim::ConstantLoad>(loaded_site_load));
+    grid.add_site("caltech").add_node("ct-0", 1.0, nullptr);
+    grid.add_site("nust").add_node("nu-0", 0.8, nullptr);
+    grid.set_default_link({100e6, from_millis(30)});
+
+    for (const auto& name : grid.site_names()) {
+      execs[name] = std::make_unique<exec::ExecutionService>(sim, grid, name);
+      estimators_[name] = std::make_shared<estimators::RuntimeEstimator>(
+          std::make_shared<estimators::TaskHistoryStore>());
+      recorders.push_back(std::make_unique<estimators::SiteRuntimeRecorder>(
+          *execs[name], estimators_[name]));
+    }
+
+    estimate_db = std::make_shared<estimators::EstimateDatabase>();
+    scheduler = std::make_unique<sphinx::SphinxScheduler>(sim, grid, &monitoring,
+                                                          estimate_db);
+    jms = std::make_unique<jobmon::JobMonitoringService>(sim.clock(), &monitoring,
+                                                         estimate_db);
+    for (const auto& name : grid.site_names()) {
+      scheduler->add_site(name, {execs[name].get(), estimators_[name]});
+      jms->attach_site(name, execs[name].get());
+    }
+
+    steering::SteeringService::Deps deps;
+    deps.sim = &sim;
+    deps.scheduler = scheduler.get();
+    deps.jobmon = jms.get();
+    for (const auto& name : grid.site_names()) deps.services[name] = execs[name].get();
+    steering::SteeringOptions sopts;
+    sopts.auto_steer = auto_steer;
+    steering = std::make_unique<steering::SteeringService>(deps, sopts);
+  }
+
+  /// Seeds every site's history so the schedulers have estimates to work with.
+  void seed_history(const std::map<std::string, std::string>& attrs, double runtime,
+                    int n = 5) {
+    for (auto& [name, est] : estimators_) {
+      for (int i = 0; i < n; ++i) est->record(attrs, runtime, 0);
+    }
+  }
+
+  sim::Simulation sim;
+  sim::Grid grid;
+  monalisa::Repository monitoring;
+  std::map<std::string, std::unique_ptr<exec::ExecutionService>> execs;
+  std::map<std::string, std::shared_ptr<estimators::RuntimeEstimator>> estimators_;
+  std::vector<std::unique_ptr<estimators::SiteRuntimeRecorder>> recorders;
+  std::shared_ptr<estimators::EstimateDatabase> estimate_db;
+  std::unique_ptr<sphinx::SphinxScheduler> scheduler;
+  std::unique_ptr<jobmon::JobMonitoringService> jms;
+  std::unique_ptr<steering::SteeringService> steering;
+};
+
+exec::TaskSpec task(const std::string& id, double work) {
+  exec::TaskSpec s;
+  s.id = id;
+  s.owner = "alice";
+  s.work_seconds = work;
+  s.attributes = {{"executable", "reco"}, {"login", "alice"}, {"queue", "q"},
+                  {"nodes", "1"}};
+  return s;
+}
+
+sphinx::JobDescription wrap(const std::string& job_id, std::vector<exec::TaskSpec> specs) {
+  sphinx::JobDescription job;
+  job.id = job_id;
+  job.owner = "alice";
+  for (auto& s : specs) job.tasks.push_back({std::move(s), {}});
+  return job;
+}
+
+TEST(Integration, SteeringImprovesWorkloadCompletion) {
+  auto run_workload = [](bool steer) {
+    GridStack stack(0.9, steer);
+    stack.seed_history(task("h", 1).attributes, 200.0);
+    // Enough identical tasks to force some onto the loaded site.
+    std::vector<exec::TaskSpec> specs;
+    for (int i = 0; i < 6; ++i) specs.push_back(task("t" + std::to_string(i), 200));
+    EXPECT_TRUE(stack.scheduler->submit(wrap("batch", std::move(specs))).is_ok());
+    stack.sim.run();
+
+    SimTime last_completion = 0;
+    for (auto& [name, svc] : stack.execs) {
+      for (const auto& info : svc->list_tasks()) {
+        if (info.state == exec::TaskState::kCompleted) {
+          last_completion = std::max(last_completion, info.completion_time);
+        }
+      }
+    }
+    return last_completion;
+  };
+
+  const SimTime unsteered = run_workload(false);
+  const SimTime steered = run_workload(true);
+  EXPECT_LT(steered, unsteered);
+}
+
+TEST(Integration, EstimatorsLearnFromLiveCompletions) {
+  GridStack stack(0.0, /*auto_steer=*/false);
+  // No seed: first placements run on fallback estimates, completions feed
+  // the per-site histories via the recorders.
+  std::vector<exec::TaskSpec> warmup;
+  for (int i = 0; i < 9; ++i) warmup.push_back(task("w" + std::to_string(i), 150));
+  ASSERT_TRUE(stack.scheduler->submit(wrap("warmup", std::move(warmup))).is_ok());
+  stack.sim.run();
+
+  // At least one site has recorded enough history to predict ~150 s.
+  bool some_site_learned = false;
+  for (auto& [name, est] : stack.estimators_) {
+    auto r = est->estimate(task("x", 1).attributes);
+    if (r.is_ok() && std::abs(r.value().seconds - 150.0) < 15.0) {
+      some_site_learned = true;
+    }
+  }
+  EXPECT_TRUE(some_site_learned);
+
+  // And the scheduler's next plan uses a learned estimate, not the fallback.
+  auto plan = stack.scheduler->make_plan(wrap("next", {task("n1", 150)}));
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_NEAR(plan.value().placements[0].score.est_runtime_seconds, 150.0, 20.0);
+}
+
+TEST(Integration, MonitoringSeesWholeLifecycleAcrossServices) {
+  GridStack stack(0.5, false);
+  stack.seed_history(task("h", 1).attributes, 100.0);
+  ASSERT_TRUE(stack.scheduler->submit(wrap("j", {task("t1", 100)})).is_ok());
+  const std::string site = stack.scheduler->task_site("t1").value();
+
+  stack.sim.run_until(from_seconds(20));
+  auto mid = stack.jms->info("t1");
+  ASSERT_TRUE(mid.is_ok());
+  EXPECT_EQ(mid.value().site, site);
+  EXPECT_GT(mid.value().info.cpu_seconds_used, 0.0);
+
+  stack.sim.run();
+  auto done = stack.jms->info("t1");
+  ASSERT_TRUE(done.is_ok());
+  EXPECT_EQ(done.value().info.state, exec::TaskState::kCompleted);
+
+  // MonALISA carries the full state history for the task.
+  int completed_events = 0;
+  for (const auto& ev : stack.monitoring.events_since(0)) {
+    if (ev.payload == "t1:COMPLETED") ++completed_events;
+  }
+  EXPECT_EQ(completed_events, 1);
+}
+
+TEST(Integration, ServiceFailureRecoveryEndToEnd) {
+  GridStack stack(0.0, false);
+  stack.seed_history(task("h", 1).attributes, 300.0);
+  ASSERT_TRUE(stack.scheduler->submit(wrap("j", {task("t1", 300)})).is_ok());
+  const std::string first = stack.scheduler->task_site("t1").value();
+
+  stack.sim.schedule_at(from_seconds(60), [&] {
+    stack.execs[first]->fail_service("meltdown");
+  });
+  stack.sim.run_until(from_seconds(2000));
+
+  const std::string second = stack.scheduler->task_site("t1").value();
+  EXPECT_NE(second, first);
+  EXPECT_EQ(stack.execs[second]->query("t1").value().state,
+            exec::TaskState::kCompleted);
+  EXPECT_EQ(stack.steering->stats().recoveries, 1u);
+}
+
+TEST(Integration, MixedWorkloadFromGeneratorCompletes) {
+  GridStack stack(0.3, true);
+  Rng rng(77);
+  auto pop = workload::ApplicationPopulation::make(rng, {});
+  workload::TaskGenOptions gopts;
+  gopts.input_file_rate = 0.0;  // no dataset staging in this test
+  auto specs = workload::make_tasks(pop, rng, gopts, "wl", 20);
+  // Bound the work so the test stays fast in virtual time too.
+  for (auto& s : specs) s.work_seconds = std::min(s.work_seconds, 400.0);
+  stack.seed_history(specs[0].attributes, 200.0);
+  ASSERT_TRUE(stack.scheduler->submit(wrap("wl", specs)).is_ok());
+  stack.sim.run(2'000'000);
+
+  auto status = stack.scheduler->job_status("wl");
+  ASSERT_TRUE(status.is_ok());
+  EXPECT_EQ(status.value().tasks_completed, 20u);
+}
+
+}  // namespace
+}  // namespace gae

@@ -1,0 +1,121 @@
+#include "monalisa/repository.h"
+
+#include <gtest/gtest.h>
+
+namespace gae::monalisa {
+namespace {
+
+TEST(Repository, PublishAndLatest) {
+  Repository repo;
+  repo.publish("site-a", "cpu_load", from_seconds(1), 0.3);
+  repo.publish("site-a", "cpu_load", from_seconds(2), 0.5);
+  auto latest = repo.latest("site-a", "cpu_load");
+  ASSERT_TRUE(latest.is_ok());
+  EXPECT_DOUBLE_EQ(latest.value().value, 0.5);
+  EXPECT_EQ(latest.value().time, from_seconds(2));
+  EXPECT_EQ(repo.latest("site-a", "mem").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(repo.latest("site-b", "cpu_load").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Repository, SeriesRangeQuery) {
+  Repository repo;
+  for (int i = 0; i < 10; ++i) {
+    repo.publish("s", "m", from_seconds(i), static_cast<double>(i));
+  }
+  const auto points = repo.series("s", "m", from_seconds(3), from_seconds(6));
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points.front().value, 3.0);
+  EXPECT_DOUBLE_EQ(points.back().value, 6.0);
+  EXPECT_TRUE(repo.series("s", "nope", 0, from_seconds(100)).empty());
+}
+
+TEST(Repository, WindowedAverage) {
+  Repository repo;
+  repo.publish("s", "m", from_seconds(0), 10.0);
+  repo.publish("s", "m", from_seconds(50), 20.0);
+  repo.publish("s", "m", from_seconds(100), 30.0);
+  // Window covering the last two points only.
+  auto avg = repo.windowed_average("s", "m", from_seconds(100), from_seconds(60));
+  ASSERT_TRUE(avg.is_ok());
+  EXPECT_DOUBLE_EQ(avg.value(), 25.0);
+  // Empty window.
+  EXPECT_FALSE(repo.windowed_average("s", "m", from_seconds(1000), from_seconds(10)).is_ok());
+}
+
+TEST(Repository, RetentionCapDropsOldest) {
+  Repository repo(/*max_points_per_series=*/5);
+  for (int i = 0; i < 10; ++i) {
+    repo.publish("s", "m", from_seconds(i), static_cast<double>(i));
+  }
+  const auto points = repo.series("s", "m", 0, from_seconds(100));
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_DOUBLE_EQ(points.front().value, 5.0);
+}
+
+TEST(Repository, SeriesNames) {
+  Repository repo;
+  repo.publish("a", "x", 0, 1);
+  repo.publish("b", "y", 0, 2);
+  const auto names = repo.series_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], (std::pair<std::string, std::string>{"a", "x"}));
+}
+
+TEST(Repository, MetricSubscription) {
+  Repository repo;
+  std::vector<double> seen;
+  const int token = repo.subscribe_metrics(
+      [&](const std::string& src, const std::string& metric, const MetricPoint& p) {
+        EXPECT_EQ(src, "s");
+        EXPECT_EQ(metric, "m");
+        seen.push_back(p.value);
+      });
+  repo.publish("s", "m", 0, 1.0);
+  repo.publish("s", "m", 1, 2.0);
+  repo.unsubscribe(token);
+  repo.publish("s", "m", 2, 3.0);
+  EXPECT_EQ(seen, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Repository, TextEvents) {
+  Repository repo;
+  std::vector<std::string> kinds;
+  repo.subscribe_events([&](const TextEvent& e) { kinds.push_back(e.kind); });
+  repo.publish_event({from_seconds(1), "site-a", "job_state", "t1:RUNNING"});
+  repo.publish_event({from_seconds(2), "site-a", "job_state", "t1:COMPLETED"});
+  EXPECT_EQ(repo.event_count(), 2u);
+  EXPECT_EQ(kinds.size(), 2u);
+  const auto since = repo.events_since(from_seconds(2));
+  ASSERT_EQ(since.size(), 1u);
+  EXPECT_EQ(since[0].payload, "t1:COMPLETED");
+}
+
+TEST(PeriodicSampler, FiresAtInterval) {
+  sim::Simulation sim;
+  int samples = 0;
+  {
+    PeriodicSampler sampler(sim, from_seconds(10), [&] { ++samples; });
+    sim.run_until(from_seconds(55));
+    EXPECT_EQ(samples, 5);  // t = 10, 20, 30, 40, 50
+  }
+  // Destroyed sampler stops sampling.
+  sim.run_until(from_seconds(200));
+  EXPECT_EQ(samples, 5);
+}
+
+TEST(PeriodicSampler, DrivesRepositoryMetrics) {
+  sim::Simulation sim;
+  Repository repo;
+  double load = 0.0;
+  PeriodicSampler sampler(sim, from_seconds(5), [&] {
+    load += 0.1;
+    repo.publish("site-a", "cpu_load", sim.now(), load);
+  });
+  sim.run_until(from_seconds(26));
+  auto avg = repo.windowed_average("site-a", "cpu_load", sim.now(), from_seconds(30));
+  ASSERT_TRUE(avg.is_ok());
+  EXPECT_NEAR(avg.value(), 0.3, 1e-9);  // mean of 0.1..0.5
+}
+
+}  // namespace
+}  // namespace gae::monalisa

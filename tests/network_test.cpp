@@ -1,0 +1,185 @@
+// Link bandwidth contention: processor-sharing semantics, conservation, and
+// integration with staged execution and replication.
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/execution_service.h"
+#include "sim/load.h"
+
+namespace gae::sim {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(sim_, grid_) {
+    grid_.add_site("a");
+    grid_.add_site("b");
+    grid_.add_site("c");
+    grid_.set_default_link({100e6, 0});  // 100 MB/s, no latency
+  }
+
+  Simulation sim_;
+  Grid grid_;
+  NetworkManager net_;
+};
+
+TEST_F(NetworkTest, SingleTransferMatchesAnalyticModel) {
+  bool done = false;
+  ASSERT_TRUE(net_.start_transfer("a", "b", 1'000'000'000, [&] { done = true; }).is_ok());
+  EXPECT_EQ(net_.active_on_link("a", "b"), 1u);
+  sim_.run();
+  EXPECT_TRUE(done);
+  // 1 GB at 100 MB/s = 10 s, matching Grid::transfer_time.
+  EXPECT_NEAR(to_seconds(sim_.now()), 10.0, 0.001);
+  EXPECT_EQ(net_.completed_transfers(), 1u);
+  EXPECT_EQ(net_.active_transfers(), 0u);
+}
+
+TEST_F(NetworkTest, TwoConcurrentTransfersShareTheLink) {
+  SimTime done1 = 0, done2 = 0;
+  ASSERT_TRUE(net_.start_transfer("a", "b", 1'000'000'000,
+                                  [&] { done1 = sim_.now(); }).is_ok());
+  ASSERT_TRUE(net_.start_transfer("a", "b", 1'000'000'000,
+                                  [&] { done2 = sim_.now(); }).is_ok());
+  EXPECT_EQ(net_.active_on_link("a", "b"), 2u);
+  sim_.run();
+  // Equal transfers sharing fairly both finish at ~20 s (2x the solo time).
+  EXPECT_NEAR(to_seconds(done1), 20.0, 0.01);
+  EXPECT_NEAR(to_seconds(done2), 20.0, 0.01);
+}
+
+TEST_F(NetworkTest, ShortTransferFinishesFirstThenSurvivorSpeedsUp) {
+  SimTime small_done = 0, big_done = 0;
+  ASSERT_TRUE(net_.start_transfer("a", "b", 200'000'000,
+                                  [&] { small_done = sim_.now(); }).is_ok());
+  ASSERT_TRUE(net_.start_transfer("a", "b", 1'000'000'000,
+                                  [&] { big_done = sim_.now(); }).is_ok());
+  sim_.run();
+  // Shared at 50 MB/s: small (200 MB) done at 4 s. Big then has 800 MB left
+  // at full 100 MB/s: 4 + 8 = 12 s (vs 10 solo, 20 if shared throughout).
+  EXPECT_NEAR(to_seconds(small_done), 4.0, 0.01);
+  EXPECT_NEAR(to_seconds(big_done), 12.0, 0.01);
+}
+
+TEST_F(NetworkTest, DifferentLinksDoNotContend) {
+  SimTime ab = 0, cb = 0;
+  ASSERT_TRUE(net_.start_transfer("a", "b", 1'000'000'000, [&] { ab = sim_.now(); }).is_ok());
+  ASSERT_TRUE(net_.start_transfer("c", "b", 1'000'000'000, [&] { cb = sim_.now(); }).is_ok());
+  sim_.run();
+  EXPECT_NEAR(to_seconds(ab), 10.0, 0.01);
+  EXPECT_NEAR(to_seconds(cb), 10.0, 0.01);
+}
+
+TEST_F(NetworkTest, LateJoinerSlowsTheFirst) {
+  SimTime first_done = 0;
+  ASSERT_TRUE(net_.start_transfer("a", "b", 1'000'000'000,
+                                  [&] { first_done = sim_.now(); }).is_ok());
+  sim_.schedule_at(from_seconds(5), [&] {
+    // First has 500 MB left; now shared at 50 MB/s each.
+    net_.start_transfer("a", "b", 1'000'000'000, [] {});
+  });
+  sim_.run();
+  // First: 5 s solo + 500 MB at 50 MB/s = 15 s.
+  EXPECT_NEAR(to_seconds(first_done), 15.0, 0.01);
+}
+
+TEST_F(NetworkTest, CancelFreesBandwidth) {
+  SimTime survivor_done = 0;
+  ASSERT_TRUE(net_.start_transfer("a", "b", 1'000'000'000,
+                                  [&] { survivor_done = sim_.now(); }).is_ok());
+  auto victim = net_.start_transfer("a", "b", 1'000'000'000, [] {
+    FAIL() << "cancelled transfer must not complete";
+  });
+  ASSERT_TRUE(victim.is_ok());
+  sim_.schedule_at(from_seconds(4), [&] { EXPECT_TRUE(net_.cancel(victim.value())); });
+  sim_.run();
+  // 4 s shared (200 MB done) + 800 MB at full speed = 12 s.
+  EXPECT_NEAR(to_seconds(survivor_done), 12.0, 0.01);
+  EXPECT_FALSE(net_.cancel(victim.value()));  // already gone
+  EXPECT_EQ(net_.completed_transfers(), 1u);
+}
+
+TEST_F(NetworkTest, SameSiteIsLatencyOnly) {
+  bool done = false;
+  ASSERT_TRUE(net_.start_transfer("a", "a", 1'000'000'000, [&] { done = true; }).is_ok());
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim_.now(), 0);
+}
+
+TEST_F(NetworkTest, UnknownSitesRejected) {
+  EXPECT_EQ(net_.start_transfer("a", "zz", 1, nullptr).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(net_.start_transfer("zz", "a", 1, nullptr).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(NetworkTest, ConservationUnderRandomTraffic) {
+  // Many random transfers on one link: every byte arrives exactly once and
+  // total time >= total_bytes / bandwidth (the link is never overdriven).
+  Rng rng(3);
+  double total_bytes = 0;
+  int completed = 0;
+  const int kTransfers = 40;
+  for (int i = 0; i < kTransfers; ++i) {
+    const double start = rng.uniform(0, 100);
+    const auto bytes = static_cast<std::uint64_t>(rng.uniform(1e7, 5e8));
+    total_bytes += static_cast<double>(bytes);
+    sim_.schedule_at(from_seconds(start), [this, bytes, &completed] {
+      net_.start_transfer("a", "b", bytes, [&completed] { ++completed; });
+    });
+  }
+  sim_.run();
+  EXPECT_EQ(completed, kTransfers);
+  EXPECT_EQ(net_.active_transfers(), 0u);
+  // Lower bound: the link moves at most 100 MB/s from t=0.
+  EXPECT_GE(to_seconds(sim_.now()) + 1e-6, total_bytes / 100e6);
+}
+
+TEST_F(NetworkTest, StagingContendsWhenWiredIntoExec) {
+  grid_.site("a").add_node("a-n0", 1.0, nullptr);
+  grid_.add_site("tier0").store_file("data.root", 1'000'000'000);  // 10 s solo
+
+  exec::ExecutionService service(sim_, grid_, "a");
+  service.use_network(&net_);
+
+  // A fat background transfer hogs the same link for 40 s.
+  ASSERT_TRUE(net_.start_transfer("tier0", "a", 2'000'000'000, [] {}).is_ok());
+
+  exec::TaskSpec spec;
+  spec.id = "t1";
+  spec.work_seconds = 5;
+  spec.input_files = {"data.root"};
+  ASSERT_TRUE(service.submit(spec).is_ok());
+  sim_.run();
+
+  const auto info = service.query("t1").value();
+  EXPECT_EQ(info.state, exec::TaskState::kCompleted);
+  // Shared staging: both transfers at 50 MB/s; task input (1 GB) lands at
+  // 20 s — double the uncontended estimate — then 5 s of compute.
+  EXPECT_NEAR(to_seconds(info.completion_time), 25.0, 0.1);
+  EXPECT_EQ(info.input_bytes_transferred, 1'000'000'000u);
+}
+
+TEST_F(NetworkTest, KillDuringContendedStagingCancelsTransfers) {
+  grid_.site("a").add_node("a-n0", 1.0, nullptr);
+  grid_.add_site("tier0").store_file("data.root", 1'000'000'000);
+  exec::ExecutionService service(sim_, grid_, "a");
+  service.use_network(&net_);
+
+  exec::TaskSpec spec;
+  spec.id = "t1";
+  spec.work_seconds = 5;
+  spec.input_files = {"data.root"};
+  ASSERT_TRUE(service.submit(spec).is_ok());
+  sim_.run_until(from_seconds(2));
+  EXPECT_EQ(net_.active_on_link("tier0", "a"), 1u);
+  ASSERT_TRUE(service.kill("t1").is_ok());
+  EXPECT_EQ(net_.active_on_link("tier0", "a"), 0u);
+  sim_.run();
+  EXPECT_EQ(service.query("t1").value().state, exec::TaskState::kKilled);
+}
+
+}  // namespace
+}  // namespace gae::sim

@@ -1,0 +1,93 @@
+#include "quota/rpc_binding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace gae::quota {
+namespace {
+
+using rpc::Array;
+using rpc::Value;
+
+class QuotaRpcTest : public ::testing::Test {
+ protected:
+  QuotaRpcTest() : host_("host", clock_) {
+    host_.auth().register_user("alice", "pw");
+    host_.auth().register_user("admin", "pw");
+    host_.acl().allow("*", "quota.");
+    service_.set_site_rate("cern", 2.0);
+    service_.set_site_rate("fnal", 1.0);
+    service_.create_account("alice", 100.0);
+    register_quota_methods(host_, service_);
+    alice_ = host_.call("system.login", {Value("alice"), Value("pw")}).value().as_string();
+    admin_ = host_.call("system.login", {Value("admin"), Value("pw")}).value().as_string();
+  }
+
+  ManualClock clock_;
+  clarens::ClarensHost host_;
+  QuotaAccountingService service_;
+  std::string alice_, admin_;
+};
+
+TEST_F(QuotaRpcTest, BalanceOfCaller) {
+  auto r = host_.call("quota.balance", {}, alice_);
+  ASSERT_TRUE(r.is_ok()) << r.status();
+  EXPECT_DOUBLE_EQ(r.value().as_double(), 100.0);
+  // admin has no account.
+  EXPECT_EQ(host_.call("quota.balance", {}, admin_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QuotaRpcTest, RateAndCheapestAndEstimate) {
+  EXPECT_DOUBLE_EQ(host_.call("quota.rate", {Value("cern")}, alice_).value().as_double(),
+                   2.0);
+  auto cheapest = host_.call("quota.cheapest",
+                             {Value(Array{Value("cern"), Value("fnal")})}, alice_);
+  ASSERT_TRUE(cheapest.is_ok());
+  EXPECT_EQ(cheapest.value().as_string(), "fnal");
+  EXPECT_DOUBLE_EQ(
+      host_.call("quota.estimate", {Value("cern"), Value(3.0)}, alice_).value().as_double(),
+      6.0);
+}
+
+TEST_F(QuotaRpcTest, ChargeDebitsCaller) {
+  auto r = host_.call("quota.charge", {Value("cern"), Value(10.0)}, alice_);
+  ASSERT_TRUE(r.is_ok()) << r.status();
+  EXPECT_DOUBLE_EQ(r.value().as_double(), 80.0);  // 100 - 10h * 2/h
+  EXPECT_DOUBLE_EQ(service_.balance("alice").value(), 80.0);
+
+  // Exceeding the balance fails atomically.
+  auto broke = host_.call("quota.charge", {Value("cern"), Value(1000.0)}, alice_);
+  EXPECT_EQ(broke.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(service_.balance("alice").value(), 80.0);
+}
+
+TEST_F(QuotaRpcTest, AdminOnlyMethods) {
+  EXPECT_EQ(host_.call("quota.grant", {Value("alice"), Value(1.0)}, alice_)
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(host_.call("quota.setRate", {Value("cern"), Value(9.0)}, alice_)
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+
+  ASSERT_TRUE(host_.call("quota.grant", {Value("alice"), Value(50.0)}, admin_).is_ok());
+  EXPECT_DOUBLE_EQ(service_.balance("alice").value(), 150.0);
+  ASSERT_TRUE(host_.call("quota.setRate", {Value("cern"), Value(9.0)}, admin_).is_ok());
+  EXPECT_DOUBLE_EQ(service_.site_rate("cern").value(), 9.0);
+}
+
+TEST_F(QuotaRpcTest, Validation) {
+  EXPECT_EQ(host_.call("quota.rate", {}, alice_).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(host_.call("quota.cheapest", {Value("not-an-array")}, alice_).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(host_.call("quota.charge", {Value("cern")}, alice_).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(host_.registry().lookup("quota@host").is_ok());
+}
+
+}  // namespace
+}  // namespace gae::quota

@@ -1,0 +1,85 @@
+#include "quota/quota_service.h"
+
+#include <gtest/gtest.h>
+
+namespace gae::quota {
+namespace {
+
+TEST(Quota, SiteRates) {
+  QuotaAccountingService q;
+  EXPECT_FALSE(q.site_rate("a").is_ok());
+  q.set_site_rate("a", 2.0);
+  EXPECT_DOUBLE_EQ(q.site_rate("a").value(), 2.0);
+  q.set_site_rate("a", 3.0);  // update
+  EXPECT_DOUBLE_EQ(q.site_rate("a").value(), 3.0);
+}
+
+TEST(Quota, CheapestSite) {
+  QuotaAccountingService q;
+  q.set_site_rate("a", 3.0);
+  q.set_site_rate("b", 1.0);
+  q.set_site_rate("c", 2.0);
+  EXPECT_EQ(q.cheapest_site({"a", "b", "c"}).value(), "b");
+  EXPECT_EQ(q.cheapest_site({"a", "c"}).value(), "c");
+  // Unpriced candidates are skipped; all-unpriced is NOT_FOUND.
+  EXPECT_EQ(q.cheapest_site({"a", "unknown"}).value(), "a");
+  EXPECT_EQ(q.cheapest_site({"zz"}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(q.cheapest_site({}).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Quota, EstimateCost) {
+  QuotaAccountingService q;
+  q.set_site_rate("a", 2.5);
+  EXPECT_DOUBLE_EQ(q.estimate_cost("a", 4.0).value(), 10.0);
+  EXPECT_FALSE(q.estimate_cost("zz", 1.0).is_ok());
+}
+
+TEST(Quota, Accounts) {
+  QuotaAccountingService q;
+  ASSERT_TRUE(q.create_account("alice", 100).is_ok());
+  EXPECT_EQ(q.create_account("alice", 0).code(), StatusCode::kAlreadyExists);
+  EXPECT_DOUBLE_EQ(q.balance("alice").value(), 100.0);
+  EXPECT_FALSE(q.balance("bob").is_ok());
+  ASSERT_TRUE(q.grant("alice", 50).is_ok());
+  EXPECT_DOUBLE_EQ(q.balance("alice").value(), 150.0);
+  EXPECT_EQ(q.grant("bob", 1).code(), StatusCode::kNotFound);
+}
+
+TEST(Quota, ChargeDeductsAndLogs) {
+  QuotaAccountingService q;
+  q.set_site_rate("a", 2.0);
+  q.create_account("alice", 100);
+  ASSERT_TRUE(q.charge("alice", "a", 10.0).is_ok());  // 20 credits
+  EXPECT_DOUBLE_EQ(q.balance("alice").value(), 80.0);
+  ASSERT_EQ(q.charge_log().size(), 1u);
+  EXPECT_EQ(q.charge_log()[0].user, "alice");
+  EXPECT_DOUBLE_EQ(q.charge_log()[0].cost, 20.0);
+}
+
+TEST(Quota, InsufficientCreditRejectedAtomically) {
+  QuotaAccountingService q;
+  q.set_site_rate("a", 10.0);
+  q.create_account("alice", 50);
+  EXPECT_EQ(q.charge("alice", "a", 10.0).code(), StatusCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(q.balance("alice").value(), 50.0);  // nothing deducted
+  EXPECT_TRUE(q.charge_log().empty());
+}
+
+TEST(Quota, ChargeValidation) {
+  QuotaAccountingService q;
+  q.create_account("alice", 100);
+  EXPECT_EQ(q.charge("bob", "a", 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(q.charge("alice", "unpriced", 1).code(), StatusCode::kNotFound);
+}
+
+TEST(Quota, CanAfford) {
+  QuotaAccountingService q;
+  q.set_site_rate("a", 2.0);
+  q.create_account("alice", 100);
+  EXPECT_TRUE(q.can_afford("alice", "a", 50.0).value());
+  EXPECT_FALSE(q.can_afford("alice", "a", 51.0).value());
+  EXPECT_FALSE(q.can_afford("bob", "a", 1.0).is_ok());
+}
+
+}  // namespace
+}  // namespace gae::quota

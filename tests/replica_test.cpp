@@ -1,0 +1,167 @@
+#include "replica/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/load.h"
+
+namespace gae::replica {
+namespace {
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  ReplicaTest() : catalog_(grid_) {
+    grid_.add_site("cern").add_node("c0", 1.0, nullptr);
+    grid_.add_site("fnal").add_node("f0", 1.0, nullptr);
+    grid_.add_site("nust").add_node("n0", 1.0, nullptr);
+    grid_.set_default_link({100e6, 0});
+    grid_.site("cern").store_file("dataset.root", 1'000'000'000);  // 10 s to move
+  }
+
+  sim::Simulation sim_;
+  sim::Grid grid_;
+  ReplicaCatalog catalog_;
+};
+
+TEST_F(ReplicaTest, RegisterRequiresActualFile) {
+  EXPECT_EQ(catalog_.register_replica("dataset.root", "fnal", 0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(catalog_.register_replica("dataset.root", "ghost-site", 0).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(catalog_.register_replica("dataset.root", "cern", 0).is_ok());
+  EXPECT_TRUE(catalog_.has_replica("dataset.root", "cern"));
+  EXPECT_EQ(catalog_.replica_count("dataset.root"), 1u);
+}
+
+TEST_F(ReplicaTest, UnregisterRemoves) {
+  catalog_.register_replica("dataset.root", "cern", 0);
+  EXPECT_TRUE(catalog_.unregister_replica("dataset.root", "cern").is_ok());
+  EXPECT_EQ(catalog_.replica_count("dataset.root"), 0u);
+  EXPECT_EQ(catalog_.unregister_replica("dataset.root", "cern").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ReplicaTest, ScanFindsStoredFiles) {
+  grid_.site("fnal").store_file("other.root", 5000);
+  catalog_.scan(from_seconds(10));
+  EXPECT_TRUE(catalog_.has_replica("dataset.root", "cern"));
+  EXPECT_TRUE(catalog_.has_replica("other.root", "fnal"));
+  EXPECT_EQ(catalog_.files().size(), 2u);
+}
+
+TEST_F(ReplicaTest, BestSourcePicksFastestLink) {
+  grid_.site("fnal").store_file("dataset.root", 1'000'000'000);
+  catalog_.scan(0);
+  grid_.set_link("fnal", "nust", {1000e6, 0});  // 10x faster than default
+  auto src = catalog_.best_source("dataset.root", "nust");
+  ASSERT_TRUE(src.is_ok());
+  EXPECT_EQ(src.value(), "fnal");
+  EXPECT_FALSE(catalog_.best_source("missing.root", "nust").is_ok());
+}
+
+TEST_F(ReplicaTest, ExplicitReplicationTransfersInVirtualTime) {
+  catalog_.scan(0);
+  ReplicationManager mgr(sim_, grid_, catalog_);
+  ASSERT_TRUE(mgr.replicate("dataset.root", "fnal").is_ok());
+  EXPECT_EQ(mgr.transfers_in_flight(), 1);
+  EXPECT_FALSE(grid_.site("fnal").has_file("dataset.root"));  // not yet
+
+  sim_.run();
+  EXPECT_TRUE(grid_.site("fnal").has_file("dataset.root"));
+  EXPECT_TRUE(catalog_.has_replica("dataset.root", "fnal"));
+  EXPECT_EQ(mgr.stats().replicas_created, 1u);
+  EXPECT_EQ(mgr.stats().bytes_transferred, 1'000'000'000u);
+  // 1 GB at 100 MB/s = 10 s.
+  EXPECT_EQ(sim_.now(), from_seconds(10));
+}
+
+TEST_F(ReplicaTest, ReplicateValidation) {
+  catalog_.scan(0);
+  ReplicationManager mgr(sim_, grid_, catalog_);
+  EXPECT_EQ(mgr.replicate("dataset.root", "cern").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(mgr.replicate("dataset.root", "ghost").code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.replicate("no-such-file", "fnal").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(mgr.replicate("dataset.root", "fnal").is_ok());
+  EXPECT_EQ(mgr.replicate("dataset.root", "fnal").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ReplicaTest, ConcurrencyCapQueuesTransfers) {
+  grid_.site("cern").store_file("d2.root", 1'000'000'000);
+  grid_.site("cern").store_file("d3.root", 1'000'000'000);
+  catalog_.scan(0);
+  ReplicationOptions opts;
+  opts.max_concurrent_transfers = 1;
+  ReplicationManager mgr(sim_, grid_, catalog_, opts);
+  ASSERT_TRUE(mgr.replicate("dataset.root", "fnal").is_ok());
+  ASSERT_TRUE(mgr.replicate("d2.root", "fnal").is_ok());
+  ASSERT_TRUE(mgr.replicate("d3.root", "fnal").is_ok());
+  EXPECT_EQ(mgr.transfers_in_flight(), 1);
+  sim_.run();
+  EXPECT_EQ(mgr.stats().replicas_created, 3u);
+  // Serialised: 3 x 10 s.
+  EXPECT_EQ(sim_.now(), from_seconds(30));
+}
+
+TEST_F(ReplicaTest, HotFileAutoReplicatesFromExecAccesses) {
+  catalog_.scan(0);
+  ReplicationOptions opts;
+  opts.hot_access_threshold = 3;
+  // The manager subscribes to the service, so it must be destroyed first:
+  // declare the service before the manager.
+  exec::ExecutionService service(sim_, grid_, "fnal");
+  ReplicationManager mgr(sim_, grid_, catalog_, opts);
+  mgr.watch(service);
+
+  // Three staging accesses of the same remote file triggers replication.
+  for (int i = 0; i < 3; ++i) {
+    exec::TaskSpec spec;
+    spec.id = "t" + std::to_string(i);
+    spec.work_seconds = 5;
+    spec.input_files = {"dataset.root"};
+    ASSERT_TRUE(service.submit(spec).is_ok());
+    sim_.run();
+  }
+  EXPECT_EQ(mgr.stats().accesses_recorded, 3u);
+  EXPECT_TRUE(grid_.site("fnal").has_file("dataset.root"));
+  EXPECT_EQ(mgr.stats().replicas_created, 1u);
+
+  // The next task of that kind needs no staging: it starts instantly.
+  exec::TaskSpec spec;
+  spec.id = "local-now";
+  spec.work_seconds = 5;
+  spec.input_files = {"dataset.root"};
+  const SimTime before = sim_.now();
+  ASSERT_TRUE(service.submit(spec).is_ok());
+  sim_.run();
+  const auto info = service.query("local-now").value();
+  EXPECT_EQ(info.input_bytes_transferred, 0u);
+  EXPECT_EQ(info.completion_time - before, from_seconds(5));
+}
+
+TEST_F(ReplicaTest, ReplicationContendsOnSharedNetwork) {
+  catalog_.scan(0);
+  sim::NetworkManager net(sim_, grid_);
+  ReplicationManager mgr(sim_, grid_, catalog_, {});
+  mgr.use_network(&net);
+  // A competing transfer shares cern->fnal for the whole replication.
+  ASSERT_TRUE(net.start_transfer("cern", "fnal", 1'000'000'000, [] {}).is_ok());
+  ASSERT_TRUE(mgr.replicate("dataset.root", "fnal").is_ok());
+  sim_.run();
+  // Two equal 1 GB transfers share 100 MB/s: both finish at 20 s, not 10.
+  EXPECT_EQ(mgr.stats().replicas_created, 1u);
+  EXPECT_NEAR(to_seconds(sim_.now()), 20.0, 0.1);
+}
+
+TEST_F(ReplicaTest, ColdFilesNotReplicated) {
+  catalog_.scan(0);
+  ReplicationOptions opts;
+  opts.hot_access_threshold = 5;
+  ReplicationManager mgr(sim_, grid_, catalog_, opts);
+  mgr.record_access("dataset.root", "fnal");
+  mgr.record_access("dataset.root", "fnal");
+  sim_.run();
+  EXPECT_EQ(mgr.stats().replicas_created, 0u);
+  EXPECT_FALSE(grid_.site("fnal").has_file("dataset.root"));
+}
+
+}  // namespace
+}  // namespace gae::replica

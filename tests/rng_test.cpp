@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace gae {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  // Out-of-range p is clamped rather than UB.
+  EXPECT_TRUE(rng.bernoulli(2.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, LognormalIsPositiveAndHeavyTailed) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.lognormal(1.0, 1.0);
+    ASSERT_GT(x, 0.0);
+    s.add(x);
+  }
+  // Mean of lognormal(1,1) = exp(1.5) ~ 4.48; median = e ~ 2.72. Mean above
+  // median demonstrates the right-skew the runtime model depends on.
+  EXPECT_NEAR(s.mean(), 4.48, 0.5);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(30.0));
+  EXPECT_NEAR(s.mean(), 30.0, 1.0);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, ParetoBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+  EXPECT_THROW(rng.pareto(0, 1), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(1, 0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexDistribution) {
+  Rng rng(23);
+  std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng rng(29);
+  std::vector<int> items{10, 20, 30};
+  bool seen[3] = {false, false, false};
+  for (int i = 0; i < 200; ++i) {
+    const int v = rng.pick(items);
+    seen[v / 10 - 1] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(Rng, ForkIsStableAndIndependent) {
+  Rng a(42), b(42);
+  Rng fa = a.fork("child");
+  Rng fb = b.fork("child");
+  // Same parent seed + same label => identical child stream.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(fa.uniform(0, 1), fb.uniform(0, 1));
+  }
+  // Different labels diverge.
+  Rng c(42);
+  Rng other = c.fork("other");
+  Rng fa2 = Rng(42).fork("child");
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (other.uniform_int(0, 1 << 30) == fa2.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace gae

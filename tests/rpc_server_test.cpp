@@ -1,0 +1,191 @@
+// End-to-end RPC over real loopback TCP: server, client, both protocols.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rpc/client.h"
+#include "rpc/server.h"
+
+namespace gae::rpc {
+namespace {
+
+std::shared_ptr<Dispatcher> make_dispatcher() {
+  auto d = std::make_shared<Dispatcher>();
+  d->register_method("math.add", [](const Array& params, const CallContext&) -> Result<Value> {
+    std::int64_t sum = 0;
+    for (const auto& p : params) sum += p.as_int();
+    return Value(sum);
+  });
+  d->register_method("echo.token", [](const Array&, const CallContext& ctx) -> Result<Value> {
+    return Value(ctx.session_token);
+  });
+  d->register_method("echo.protocol", [](const Array&, const CallContext& ctx) -> Result<Value> {
+    return Value(ctx.protocol);
+  });
+  d->register_method("always.fails", [](const Array&, const CallContext&) -> Result<Value> {
+    return not_found_error("nothing here");
+  });
+  d->register_method("always.throws", [](const Array& params, const CallContext&) -> Result<Value> {
+    return Value(params.at(0).as_int());  // throws on wrong type / missing
+  });
+  return d;
+}
+
+class RpcServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<RpcServer>(make_dispatcher(), ServerOptions{0, 4});
+    auto port = server_->start();
+    ASSERT_TRUE(port.is_ok()) << port.status();
+    port_ = port.value();
+  }
+
+  std::unique_ptr<RpcServer> server_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(RpcServerTest, XmlRpcCall) {
+  RpcClient client("127.0.0.1", port_, Protocol::kXmlRpc);
+  auto r = client.call("math.add", {Value(1), Value(2), Value(3)});
+  ASSERT_TRUE(r.is_ok()) << r.status();
+  EXPECT_EQ(r.value().as_int(), 6);
+}
+
+TEST_F(RpcServerTest, JsonRpcCall) {
+  RpcClient client("127.0.0.1", port_, Protocol::kJsonRpc);
+  auto r = client.call("math.add", {Value(10), Value(20)});
+  ASSERT_TRUE(r.is_ok()) << r.status();
+  EXPECT_EQ(r.value().as_int(), 30);
+}
+
+TEST_F(RpcServerTest, ProtocolVisibleToHandler) {
+  RpcClient xml("127.0.0.1", port_, Protocol::kXmlRpc);
+  RpcClient json("127.0.0.1", port_, Protocol::kJsonRpc);
+  EXPECT_EQ(xml.call("echo.protocol").value().as_string(), "xmlrpc");
+  EXPECT_EQ(json.call("echo.protocol").value().as_string(), "jsonrpc");
+}
+
+TEST_F(RpcServerTest, SessionTokenHeaderArrives) {
+  RpcClient client("127.0.0.1", port_);
+  client.set_session_token("tok-123");
+  EXPECT_EQ(client.call("echo.token").value().as_string(), "tok-123");
+}
+
+TEST_F(RpcServerTest, FaultCarriesStatusCode) {
+  RpcClient client("127.0.0.1", port_);
+  auto r = client.call("always.fails");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nothing here");
+}
+
+TEST_F(RpcServerTest, UnknownMethodIsNotFound) {
+  RpcClient client("127.0.0.1", port_);
+  auto r = client.call("no.such.method");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RpcServerTest, HandlerExceptionBecomesInvalidArgument) {
+  RpcClient client("127.0.0.1", port_);
+  auto r = client.call("always.throws", {Value("not an int")});
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RpcServerTest, SequentialCallsReuseConnection) {
+  RpcClient client("127.0.0.1", port_);
+  for (int i = 0; i < 50; ++i) {
+    auto r = client.call("math.add", {Value(i), Value(i)});
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().as_int(), 2 * i);
+  }
+  EXPECT_EQ(server_->requests_served(), 50u);
+}
+
+TEST_F(RpcServerTest, ClientReconnectsAfterDisconnect) {
+  RpcClient client("127.0.0.1", port_);
+  ASSERT_TRUE(client.call("math.add", {Value(1)}).is_ok());
+  client.disconnect();
+  auto r = client.call("math.add", {Value(2)});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().as_int(), 2);
+}
+
+TEST_F(RpcServerTest, ManyConcurrentClients) {
+  constexpr int kClients = 12;
+  constexpr int kCallsEach = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, &failures] {
+      RpcClient client("127.0.0.1", port_,
+                       Protocol::kXmlRpc);
+      for (int i = 0; i < kCallsEach; ++i) {
+        auto r = client.call("math.add", {Value(i), Value(1)});
+        if (!r.is_ok() || r.value().as_int() != i + 1) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->requests_served(),
+            static_cast<std::uint64_t>(kClients * kCallsEach));
+}
+
+TEST_F(RpcServerTest, StopUnblocksAndRejectsNewConnections) {
+  server_->stop();
+  RpcClient client("127.0.0.1", port_);
+  auto r = client.call("math.add", {Value(1)});
+  EXPECT_FALSE(r.is_ok());
+}
+
+TEST(RpcServerLifecycle, StartStopIdempotent) {
+  auto server = std::make_unique<RpcServer>(make_dispatcher(), ServerOptions{0, 2});
+  ASSERT_TRUE(server->start().is_ok());
+  server->stop();
+  server->stop();  // second stop is a no-op
+}
+
+TEST(Dispatcher, InterceptorShortCircuits) {
+  Dispatcher d;
+  d.register_method("m", [](const Array&, const CallContext&) -> Result<Value> {
+    return Value(1);
+  });
+  d.add_interceptor([](const std::string&, const CallContext& ctx) {
+    if (ctx.session_token.empty()) return unauthenticated_error("login first");
+    return Status::ok();
+  });
+  CallContext anon;
+  EXPECT_EQ(d.dispatch("m", {}, anon).status().code(), StatusCode::kUnauthenticated);
+  CallContext authed;
+  authed.session_token = "t";
+  EXPECT_TRUE(d.dispatch("m", {}, authed).is_ok());
+}
+
+TEST(Dispatcher, MethodNamesSorted) {
+  Dispatcher d;
+  d.register_method("b", [](const Array&, const CallContext&) -> Result<Value> { return Value(); });
+  d.register_method("a", [](const Array&, const CallContext&) -> Result<Value> { return Value(); });
+  const auto names = d.method_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_TRUE(d.has_method("a"));
+  EXPECT_FALSE(d.has_method("c"));
+}
+
+TEST(FaultCodes, RoundTripAllStatusCodes) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kInternal); ++i) {
+    const auto code = static_cast<StatusCode>(i);
+    EXPECT_EQ(fault_code_to_status(status_to_fault_code(code)), code);
+  }
+  EXPECT_EQ(fault_code_to_status(-5), StatusCode::kInternal);
+  EXPECT_EQ(fault_code_to_status(99999), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace gae::rpc

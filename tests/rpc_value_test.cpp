@@ -1,0 +1,90 @@
+#include "rpc/value.h"
+
+#include <gtest/gtest.h>
+
+namespace gae::rpc {
+namespace {
+
+TEST(Value, DefaultIsNil) {
+  Value v;
+  EXPECT_TRUE(v.is_nil());
+  EXPECT_STREQ(v.type_name(), "nil");
+}
+
+TEST(Value, TypePredicates) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(42).is_int());
+  EXPECT_TRUE(Value(std::int64_t{1} << 40).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Struct{}).is_struct());
+  EXPECT_TRUE(Value(1).is_number());
+  EXPECT_TRUE(Value(1.0).is_number());
+  EXPECT_FALSE(Value("1").is_number());
+}
+
+TEST(Value, Accessors) {
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(7).as_double(), 7.0);  // int widens to double
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(Value, AccessorTypeMismatchThrows) {
+  EXPECT_THROW(Value("x").as_int(), std::runtime_error);
+  EXPECT_THROW(Value(1).as_string(), std::runtime_error);
+  EXPECT_THROW(Value(1.5).as_int(), std::runtime_error);  // no silent narrowing
+  EXPECT_THROW(Value().as_array(), std::runtime_error);
+  EXPECT_THROW(Value(Array{}).as_struct(), std::runtime_error);
+}
+
+TEST(Value, StructHelpers) {
+  Struct s;
+  s["i"] = Value(5);
+  s["d"] = Value(1.5);
+  s["s"] = Value("txt");
+  s["b"] = Value(true);
+  Value v(std::move(s));
+
+  EXPECT_TRUE(v.has("i"));
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_EQ(v.at("i").as_int(), 5);
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+
+  EXPECT_EQ(v.get_int("i", 0), 5);
+  EXPECT_EQ(v.get_int("missing", -1), -1);
+  EXPECT_DOUBLE_EQ(v.get_double("d", 0), 1.5);
+  EXPECT_EQ(v.get_string("s", ""), "txt");
+  EXPECT_TRUE(v.get_bool("b", false));
+}
+
+TEST(Value, DeepEquality) {
+  Array inner{Value(1), Value("two")};
+  Struct s1, s2;
+  s1["a"] = Value(inner);
+  s2["a"] = Value(inner);
+  EXPECT_EQ(Value(s1), Value(s2));
+  s2["a"].as_array().push_back(Value(3));
+  EXPECT_NE(Value(s1), Value(s2));
+}
+
+TEST(Value, DebugString) {
+  Struct s;
+  s["n"] = Value();
+  s["arr"] = Value(Array{Value(1), Value(true)});
+  s["txt"] = Value("a\"b");
+  const std::string d = Value(std::move(s)).debug_string();
+  EXPECT_EQ(d, R"({"arr":[1,true],"n":null,"txt":"a\"b"})");
+}
+
+TEST(Value, NestedMutation) {
+  Value v{Struct{}};
+  v.as_struct()["list"] = Value(Array{});
+  v.as_struct()["list"].as_array().push_back(Value(9));
+  EXPECT_EQ(v.at("list").as_array().at(0).as_int(), 9);
+}
+
+}  // namespace
+}  // namespace gae::rpc

@@ -1,0 +1,142 @@
+#include "clarens/session_store.h"
+
+#include <gtest/gtest.h>
+
+#include "clarens/host.h"
+#include "common/clock.h"
+
+namespace gae::clarens {
+namespace {
+
+using rpc::Struct;
+using rpc::Value;
+
+class SessionStoreTest : public ::testing::Test {
+ protected:
+  SessionStoreTest() : store_(clock_) {}
+  ManualClock clock_;
+  SessionStateStore store_;
+};
+
+TEST_F(SessionStoreTest, PutGetRoundTrip) {
+  Struct doc;
+  doc["dataset"] = Value("run2026");
+  doc["cuts"] = Value(rpc::Array{Value("pt>20"), Value("eta<2.4")});
+  ASSERT_TRUE(store_.put("alice", "analysis-1", Value(doc)).is_ok());
+
+  auto loaded = store_.get("alice", "analysis-1");
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().content.get_string("dataset", ""), "run2026");
+  EXPECT_EQ(loaded.value().version, 1);
+}
+
+TEST_F(SessionStoreTest, VersionsBumpOnOverwrite) {
+  store_.put("alice", "k", Value(1));
+  store_.put("alice", "k", Value(2));
+  auto doc = store_.get("alice", "k");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().version, 2);
+  EXPECT_EQ(doc.value().content.as_int(), 2);
+}
+
+TEST_F(SessionStoreTest, OptimisticConcurrency) {
+  store_.put("alice", "k", Value(1));
+  // Correct expected version succeeds.
+  EXPECT_TRUE(store_.put("alice", "k", Value(2), 1).is_ok());
+  // Stale expected version fails.
+  EXPECT_EQ(store_.put("alice", "k", Value(3), 1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store_.get("alice", "k").value().content.as_int(), 2);
+}
+
+TEST_F(SessionStoreTest, UsersIsolated) {
+  store_.put("alice", "k", Value("alice-data"));
+  store_.put("bob", "k", Value("bob-data"));
+  EXPECT_EQ(store_.get("alice", "k").value().content.as_string(), "alice-data");
+  EXPECT_EQ(store_.get("bob", "k").value().content.as_string(), "bob-data");
+  EXPECT_FALSE(store_.get("eve", "k").is_ok());
+  EXPECT_EQ(store_.total_documents(), 2u);
+}
+
+TEST_F(SessionStoreTest, ListAndRemove) {
+  store_.put("alice", "b", Value(1));
+  store_.put("alice", "a", Value(2));
+  EXPECT_EQ(store_.list("alice"), (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(store_.remove("alice", "a").is_ok());
+  EXPECT_EQ(store_.remove("alice", "a").code(), StatusCode::kNotFound);
+  EXPECT_EQ(store_.list("alice"), std::vector<std::string>{"b"});
+  EXPECT_TRUE(store_.list("nobody").empty());
+}
+
+TEST_F(SessionStoreTest, Validation) {
+  EXPECT_EQ(store_.put("", "k", Value(1)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store_.put("alice", "", Value(1)).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionStoreTest, UpdatedAtTracksClock) {
+  clock_.advance_to(from_seconds(42));
+  store_.put("alice", "k", Value(1));
+  EXPECT_EQ(store_.get("alice", "k").value().updated_at, from_seconds(42));
+}
+
+class SessionRpcTest : public ::testing::Test {
+ protected:
+  SessionRpcTest() : host_("host", clock_), store_(clock_) {
+    host_.auth().register_user("alice", "pw");
+    host_.auth().register_user("bob", "pw");
+    host_.acl().allow("*", "session.");
+    register_session_methods(host_, store_);
+    alice_ = host_.call("system.login", {Value("alice"), Value("pw")}).value().as_string();
+    bob_ = host_.call("system.login", {Value("bob"), Value("pw")}).value().as_string();
+  }
+
+  ManualClock clock_;
+  ClarensHost host_;
+  SessionStateStore store_;
+  std::string alice_, bob_;
+};
+
+TEST_F(SessionRpcTest, SaveLoadViaRpc) {
+  Struct doc;
+  doc["plot"] = Value("mass-histogram");
+  auto saved = host_.call("session.save", {Value("s1"), Value(doc)}, alice_);
+  ASSERT_TRUE(saved.is_ok()) << saved.status();
+  EXPECT_EQ(saved.value().get_int("version", 0), 1);
+
+  auto loaded = host_.call("session.load", {Value("s1")}, alice_);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().at("content").get_string("plot", ""), "mass-histogram");
+}
+
+TEST_F(SessionRpcTest, DocumentsNamespacedByCaller) {
+  host_.call("session.save", {Value("s1"), Value("alice-doc")}, alice_);
+  // bob cannot see alice's document.
+  EXPECT_EQ(host_.call("session.load", {Value("s1")}, bob_).status().code(),
+            StatusCode::kNotFound);
+  auto bob_list = host_.call("session.list", {}, bob_);
+  ASSERT_TRUE(bob_list.is_ok());
+  EXPECT_TRUE(bob_list.value().as_array().empty());
+}
+
+TEST_F(SessionRpcTest, DeleteViaRpc) {
+  host_.call("session.save", {Value("s1"), Value(1)}, alice_);
+  ASSERT_TRUE(host_.call("session.delete", {Value("s1")}, alice_).is_ok());
+  EXPECT_EQ(host_.call("session.load", {Value("s1")}, alice_).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SessionRpcTest, RequiresAuthentication) {
+  EXPECT_EQ(host_.call("session.list", {}).status().code(),
+            StatusCode::kUnauthenticated);
+}
+
+TEST_F(SessionRpcTest, ConflictSurfacesOverRpc) {
+  host_.call("session.save", {Value("s1"), Value(1)}, alice_);
+  auto conflict =
+      host_.call("session.save", {Value("s1"), Value(2), Value(0)}, alice_);
+  ASSERT_FALSE(conflict.is_ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace gae::clarens

@@ -1,0 +1,149 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gae::sim {
+namespace {
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulation, TiesBreakByScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulation, ClockAdvancesOnlyToFiredEvents) {
+  Simulation sim;
+  sim.schedule_at(100, [] {});
+  sim.schedule_at(500, [] {});
+  sim.step();
+  EXPECT_EQ(sim.now(), 100);
+  sim.step();
+  EXPECT_EQ(sim.now(), 500);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, ScheduleAfterRelative) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulation, PastSchedulesClampToNow) {
+  Simulation sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(10, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(100, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double cancel reports false
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelInvalidIds) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(kInvalidEvent));
+  EXPECT_FALSE(sim.cancel(9999));  // never existed
+}
+
+TEST(Simulation, CancelFromInsideEvent) {
+  Simulation sim;
+  bool fired = false;
+  const EventId victim = sim.schedule_at(200, [&] { fired = true; });
+  sim.schedule_at(100, [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(100, [&] { ++count; });
+  sim.schedule_at(200, [&] { ++count; });
+  sim.schedule_at(300, [&] { ++count; });
+  sim.run_until(200);
+  EXPECT_EQ(count, 2);  // events at t <= 200 fired
+  EXPECT_EQ(sim.now(), 200);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithoutEvents) {
+  Simulation sim;
+  sim.run_until(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulation, EventsCanScheduleChains) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  const auto fired = sim.run();
+  EXPECT_EQ(fired, 100u);
+  EXPECT_EQ(sim.now(), 990);
+}
+
+TEST(Simulation, MaxEventsGuardStopsRunaway) {
+  Simulation sim;
+  std::function<void()> forever = [&] { sim.schedule_after(1, forever); };
+  sim.schedule_at(0, forever);
+  const auto fired = sim.run(1000);
+  EXPECT_EQ(fired, 1000u);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<SimTime> log;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at((i * 37) % 100, [&log, &sim] { log.push_back(sim.now()); });
+    }
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Simulation, EmptyReflectsCancelledEvents) {
+  Simulation sim;
+  EXPECT_TRUE(sim.empty());
+  const EventId id = sim.schedule_at(10, [] {});
+  EXPECT_FALSE(sim.empty());
+  sim.cancel(id);
+  EXPECT_TRUE(sim.empty());
+}
+
+}  // namespace
+}  // namespace gae::sim

@@ -1,0 +1,151 @@
+#include "sim/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/load.h"
+
+namespace gae::sim {
+namespace {
+
+TEST(LoadProfiles, ConstantLoad) {
+  ConstantLoad load(0.4);
+  EXPECT_DOUBLE_EQ(load.load_at(0), 0.4);
+  EXPECT_DOUBLE_EQ(load.load_at(1'000'000'000), 0.4);
+  EXPECT_EQ(load.next_change(0), kSimTimeNever);
+}
+
+TEST(LoadProfiles, ConstantLoadClamped) {
+  EXPECT_LT(ConstantLoad(1.5).load_at(0), 1.0);  // never fully starves a node
+  EXPECT_DOUBLE_EQ(ConstantLoad(-0.5).load_at(0), 0.0);
+}
+
+TEST(LoadProfiles, StepLoadSchedule) {
+  StepLoad load(0.1, {{from_seconds(10), 0.8}, {from_seconds(20), 0.2}});
+  EXPECT_DOUBLE_EQ(load.load_at(0), 0.1);
+  EXPECT_DOUBLE_EQ(load.load_at(from_seconds(10)), 0.8);
+  EXPECT_DOUBLE_EQ(load.load_at(from_seconds(15)), 0.8);
+  EXPECT_DOUBLE_EQ(load.load_at(from_seconds(25)), 0.2);  // holds last value
+  EXPECT_EQ(load.next_change(0), from_seconds(10));
+  EXPECT_EQ(load.next_change(from_seconds(10)), from_seconds(20));
+  EXPECT_EQ(load.next_change(from_seconds(20)), kSimTimeNever);
+}
+
+TEST(LoadProfiles, StepLoadSortsSteps) {
+  StepLoad load(0.0, {{from_seconds(20), 0.5}, {from_seconds(10), 0.9}});
+  EXPECT_DOUBLE_EQ(load.load_at(from_seconds(15)), 0.9);
+  EXPECT_DOUBLE_EQ(load.load_at(from_seconds(25)), 0.5);
+}
+
+TEST(LoadProfiles, PeriodicSquareWave) {
+  PeriodicLoad load(0.0, 0.9, from_seconds(10), from_seconds(5));
+  EXPECT_DOUBLE_EQ(load.load_at(0), 0.9);                 // on phase
+  EXPECT_DOUBLE_EQ(load.load_at(from_seconds(9)), 0.9);
+  EXPECT_DOUBLE_EQ(load.load_at(from_seconds(10)), 0.0);  // off phase
+  EXPECT_DOUBLE_EQ(load.load_at(from_seconds(14)), 0.0);
+  EXPECT_DOUBLE_EQ(load.load_at(from_seconds(15)), 0.9);  // wraps
+  EXPECT_EQ(load.next_change(0), from_seconds(10));
+  EXPECT_EQ(load.next_change(from_seconds(10)), from_seconds(15));
+  EXPECT_EQ(load.next_change(from_seconds(12)), from_seconds(15));
+  EXPECT_THROW(PeriodicLoad(0, 1, 0, 5), std::invalid_argument);
+}
+
+TEST(LoadProfiles, RandomWalkBoundsAndDeterminism) {
+  auto a = make_random_walk_load(Rng(5), 0.2, 0.8, from_seconds(30), from_seconds(3600));
+  auto b = make_random_walk_load(Rng(5), 0.2, 0.8, from_seconds(30), from_seconds(3600));
+  for (SimTime t = 0; t <= from_seconds(3600); t += from_seconds(17)) {
+    const double la = a->load_at(t);
+    EXPECT_GE(la, 0.2);
+    EXPECT_LE(la, 0.8);
+    EXPECT_DOUBLE_EQ(la, b->load_at(t));  // same seed, same walk
+  }
+}
+
+TEST(Node, EffectiveRate) {
+  Node node("n0", 2.0, std::make_shared<ConstantLoad>(0.5));
+  EXPECT_DOUBLE_EQ(node.effective_rate(0), 1.0);  // 2.0 speed * 50% free
+  EXPECT_THROW(Node("bad", 0.0, nullptr), std::invalid_argument);
+}
+
+TEST(Node, NullLoadProfileMeansIdle) {
+  Node node("n0", 1.0, nullptr);
+  EXPECT_DOUBLE_EQ(node.background_load(0), 0.0);
+  EXPECT_DOUBLE_EQ(node.effective_rate(0), 1.0);
+}
+
+TEST(Site, NodesAndFiles) {
+  Site site("caltech");
+  site.add_node("n0", 1.0, nullptr);
+  site.add_node("n1", 1.5, nullptr);
+  EXPECT_EQ(site.node_count(), 2u);
+  EXPECT_EQ(site.node(1).name(), "n1");
+
+  site.store_file("data.root", 1'000'000);
+  EXPECT_TRUE(site.has_file("data.root"));
+  EXPECT_EQ(site.file_size("data.root").value(), 1'000'000u);
+  EXPECT_EQ(site.file_size("other").status().code(), StatusCode::kNotFound);
+}
+
+class GridTest : public ::testing::Test {
+ protected:
+  GridTest() {
+    grid_.add_site("a").add_node("a0", 1.0, nullptr);
+    grid_.add_site("b").add_node("b0", 1.0, nullptr);
+    grid_.add_site("c").add_node("c0", 1.0, nullptr);
+    grid_.set_default_link({100e6, from_millis(10)});  // 100 MB/s, 10 ms
+  }
+  Grid grid_;
+};
+
+TEST_F(GridTest, SiteAccess) {
+  EXPECT_TRUE(grid_.has_site("a"));
+  EXPECT_FALSE(grid_.has_site("zz"));
+  EXPECT_THROW(grid_.site("zz"), std::out_of_range);
+  EXPECT_EQ(grid_.site_names().size(), 3u);
+}
+
+TEST_F(GridTest, AddSiteIdempotent) {
+  grid_.site("a").store_file("f", 1);
+  grid_.add_site("a");  // must not wipe the existing site
+  EXPECT_TRUE(grid_.site("a").has_file("f"));
+}
+
+TEST_F(GridTest, TransferTimeUsesLink) {
+  // 100 MB over 100 MB/s + 10 ms latency = 1.01 s.
+  const SimDuration t = grid_.transfer_time("a", "b", 100'000'000);
+  EXPECT_EQ(t, from_seconds(1.0) + from_millis(10));
+  EXPECT_EQ(grid_.transfer_time("a", "a", 100'000'000), 0);
+}
+
+TEST_F(GridTest, ExplicitLinkOverridesDefault) {
+  grid_.set_link("a", "b", {200e6, 0});
+  EXPECT_EQ(grid_.transfer_time("a", "b", 200'000'000), from_seconds(1.0));
+  // Other direction still default.
+  EXPECT_EQ(grid_.transfer_time("b", "a", 100'000'000),
+            from_seconds(1.0) + from_millis(10));
+  grid_.set_symmetric_link("a", "c", {50e6, 0});
+  EXPECT_EQ(grid_.transfer_time("a", "c", 50'000'000), from_seconds(1.0));
+  EXPECT_EQ(grid_.transfer_time("c", "a", 50'000'000), from_seconds(1.0));
+}
+
+TEST_F(GridTest, ClosestReplicaPicksFastestSource) {
+  grid_.site("a").store_file("data", 1'000'000'000);
+  grid_.site("b").store_file("data", 1'000'000'000);
+  grid_.set_link("b", "c", {1000e6, 0});  // b -> c much faster
+  auto src = grid_.closest_replica("data", "c");
+  ASSERT_TRUE(src.is_ok());
+  EXPECT_EQ(src.value(), "b");
+}
+
+TEST_F(GridTest, ClosestReplicaExcludes) {
+  grid_.site("a").store_file("data", 1);
+  auto src = grid_.closest_replica("data", "c", /*except=*/"a");
+  EXPECT_EQ(src.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(GridTest, ClosestReplicaMissingFile) {
+  EXPECT_EQ(grid_.closest_replica("nope", "a").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gae::sim

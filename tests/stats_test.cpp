@@ -1,0 +1,163 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gae {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  Rng rng(123);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(10, 3);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(LinearRegression, PerfectLine) {
+  LinearRegression reg;
+  for (double x = 0; x < 10; ++x) reg.add(x, 3.0 * x + 7.0);
+  const LinearFit fit = reg.fit();
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(fit.predict(20.0), 67.0, 1e-9);
+}
+
+TEST(LinearRegression, TooFewPointsInvalid) {
+  LinearRegression reg;
+  EXPECT_FALSE(reg.fit().valid);
+  reg.add(1.0, 2.0);
+  EXPECT_FALSE(reg.fit().valid);
+}
+
+TEST(LinearRegression, AllSameXInvalid) {
+  LinearRegression reg;
+  reg.add(5.0, 1.0);
+  reg.add(5.0, 2.0);
+  reg.add(5.0, 3.0);
+  EXPECT_FALSE(reg.fit().valid);
+}
+
+TEST(LinearRegression, NoisyLineRecoversSlope) {
+  Rng rng(7);
+  LinearRegression reg;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0, 100);
+    reg.add(x, 2.5 * x + 10 + rng.normal(0, 1));
+  }
+  const LinearFit fit = reg.fit();
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.slope, 2.5, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 100), 5.0);
+}
+
+TEST(Percentile, InterpolatesAndClamps) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 110), 5.0);   // clamped
+  EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);   // clamped
+  EXPECT_DOUBLE_EQ(percentile({1, 2}, 50), 1.5);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({9, 1, 5}, 50), 5.0);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2, 4, 6}), 4.0);
+}
+
+/// Property sweep: Welford matches the naive two-pass computation for
+/// assorted distributions.
+class StatsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsPropertyTest, WelfordMatchesTwoPass) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  RunningStats s;
+  const int n = 100 + static_cast<int>(rng.uniform_int(0, 400));
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.lognormal(2.0, 1.5);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9 * std::abs(mean));
+  EXPECT_NEAR(s.variance(), var, 1e-6 * var);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace gae

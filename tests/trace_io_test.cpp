@@ -1,0 +1,84 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace gae::workload {
+namespace {
+
+std::vector<AccountingRecord> sample_trace(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  auto pop = ApplicationPopulation::make(rng, {});
+  TraceOptions topts;
+  topts.num_records = n;
+  return generate_trace(pop, rng, topts);
+}
+
+TEST(TraceIo, CsvRoundTripPreservesEverything) {
+  const auto trace = sample_trace(50, 9);
+  auto back = trace_from_csv(trace_to_csv(trace));
+  ASSERT_TRUE(back.is_ok()) << back.status();
+  ASSERT_EQ(back.value().size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& a = trace[i];
+    const auto& b = back.value()[i];
+    EXPECT_EQ(a.account, b.account);
+    EXPECT_EQ(a.login, b.login);
+    EXPECT_EQ(a.executable, b.executable);
+    EXPECT_EQ(a.partition, b.partition);
+    EXPECT_EQ(a.queue, b.queue);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.interactive, b.interactive);
+    EXPECT_EQ(a.successful, b.successful);
+    EXPECT_NEAR(a.requested_cpu_hours, b.requested_cpu_hours,
+                1e-6 * a.requested_cpu_hours + 1e-9);
+    // Times survive to microsecond resolution.
+    EXPECT_NEAR(static_cast<double>(a.submit_time), static_cast<double>(b.submit_time), 2);
+    EXPECT_NEAR(static_cast<double>(a.complete_time), static_cast<double>(b.complete_time), 2);
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  auto back = trace_from_csv(trace_to_csv({}));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(TraceIo, MalformedInputsRejected) {
+  EXPECT_FALSE(trace_from_csv("").is_ok());
+  EXPECT_FALSE(trace_from_csv("wrong,header\n").is_ok());
+  const std::string good = trace_to_csv(sample_trace(1, 1));
+  EXPECT_FALSE(trace_from_csv(good + "too,few,fields\n").is_ok());
+  // Non-numeric nodes field.
+  std::string bad = good;
+  auto pos = bad.find('\n');  // end of header
+  pos = bad.find('\n', pos + 1);
+  bad.insert(pos + 1, "a,b,c,d,e,NOTANUMBER,0,1,1.0,1.0,0.1,0,1,2\n");
+  EXPECT_FALSE(trace_from_csv(bad).is_ok());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto trace = sample_trace(20, 4);
+  const std::string path = ::testing::TempDir() + "/gae_trace_test.csv";
+  ASSERT_TRUE(save_trace(trace, path).is_ok());
+  auto back = load_trace(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().size(), 20u);
+  std::remove(path.c_str());
+  EXPECT_EQ(load_trace(path).status().code(), StatusCode::kNotFound);
+}
+
+TEST(TraceIo, RuntimeFidelityForEstimators) {
+  // The quantity the fig-5 pipeline consumes must survive the round trip.
+  const auto trace = sample_trace(30, 12);
+  auto back = trace_from_csv(trace_to_csv(trace)).value();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(trace[i].runtime_seconds(), back[i].runtime_seconds(), 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace gae::workload

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/stats.h"
+#include "workload/paragon_trace.h"
+#include "workload/task_generator.h"
+
+namespace gae::workload {
+namespace {
+
+TEST(ApplicationPopulation, MakeProducesRequestedCount) {
+  Rng rng(1);
+  PopulationOptions opts;
+  opts.num_applications = 10;
+  auto pop = ApplicationPopulation::make(rng, opts);
+  EXPECT_EQ(pop.applications().size(), 10u);
+  for (const auto& app : pop.applications()) {
+    EXPECT_FALSE(app.login.empty());
+    EXPECT_FALSE(app.executable.empty());
+    EXPECT_GT(app.base_runtime, 0.0);
+    EXPECT_GE(app.ref_nodes, 1);
+  }
+}
+
+TEST(ApplicationPopulation, DeterministicForSeed) {
+  PopulationOptions opts;
+  Rng r1(42), r2(42);
+  auto a = ApplicationPopulation::make(r1, opts);
+  auto b = ApplicationPopulation::make(r2, opts);
+  ASSERT_EQ(a.applications().size(), b.applications().size());
+  for (std::size_t i = 0; i < a.applications().size(); ++i) {
+    EXPECT_EQ(a.applications()[i].executable, b.applications()[i].executable);
+    EXPECT_DOUBLE_EQ(a.applications()[i].base_runtime, b.applications()[i].base_runtime);
+  }
+}
+
+TEST(ApplicationPopulation, RuntimeScalesWithNodes) {
+  Rng rng(7);
+  PopulationOptions opts;
+  auto pop = ApplicationPopulation::make(rng, opts);
+  const Application& app = pop.applications().front();
+  // Average many samples: more nodes => shorter runtime.
+  RunningStats few, many;
+  for (int i = 0; i < 500; ++i) {
+    few.add(pop.sample_runtime(app, app.ref_nodes, rng));
+    many.add(pop.sample_runtime(app, app.ref_nodes * 4, rng));
+  }
+  EXPECT_GT(few.mean(), many.mean());
+}
+
+TEST(Trace, FieldsPopulatedAndOrdered) {
+  Rng rng(3);
+  auto pop = ApplicationPopulation::make(rng, {});
+  TraceOptions topts;
+  topts.num_records = 100;
+  const auto trace = generate_trace(pop, rng, topts);
+  ASSERT_EQ(trace.size(), 100u);
+  SimTime last_submit = -1;
+  for (const auto& rec : trace) {
+    EXPECT_FALSE(rec.account.empty());
+    EXPECT_FALSE(rec.login.empty());
+    EXPECT_FALSE(rec.partition.empty());
+    EXPECT_FALSE(rec.queue.empty());
+    EXPECT_GE(rec.nodes, 1);
+    EXPECT_GE(rec.submit_time, last_submit);       // submit-ordered
+    EXPECT_GE(rec.start_time, rec.submit_time);    // queued before start
+    EXPECT_GT(rec.complete_time, rec.start_time);  // positive runtime
+    EXPECT_GT(rec.requested_cpu_hours, 0.0);
+    last_submit = rec.submit_time;
+  }
+}
+
+TEST(Trace, FailureRateRoughlyHonoured) {
+  Rng rng(5);
+  auto pop = ApplicationPopulation::make(rng, {});
+  TraceOptions topts;
+  topts.num_records = 2000;
+  topts.failure_rate = 0.2;
+  const auto trace = generate_trace(pop, rng, topts);
+  int failures = 0;
+  for (const auto& rec : trace) {
+    if (!rec.successful) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / 2000.0, 0.2, 0.03);
+}
+
+// The statistical premise of the paper's §6.1: runs of the *same*
+// application disperse much less than runs of different applications.
+TEST(Trace, SimilarTasksHaveSimilarRuntimes) {
+  Rng rng(11);
+  PopulationOptions popts;
+  popts.num_applications = 20;
+  auto pop = ApplicationPopulation::make(rng, popts);
+  TraceOptions topts;
+  topts.num_records = 2000;
+  topts.failure_rate = 0.0;
+  const auto trace = generate_trace(pop, rng, topts);
+
+  std::map<std::string, RunningStats> per_app;
+  RunningStats global;
+  for (const auto& rec : trace) {
+    const double log_rt = std::log(rec.runtime_seconds());
+    per_app[rec.executable].add(log_rt);
+    global.add(log_rt);
+  }
+  double within = 0;
+  int counted = 0;
+  for (const auto& [app, stats] : per_app) {
+    if (stats.count() >= 10) {
+      within += stats.stddev();
+      ++counted;
+    }
+  }
+  ASSERT_GT(counted, 3);
+  within /= counted;
+  // Within-application dispersion (log-scale) well below global dispersion.
+  EXPECT_LT(within, global.stddev() * 0.6);
+}
+
+TEST(TaskGenerator, SpecFieldsAndAttributes) {
+  Rng rng(13);
+  auto pop = ApplicationPopulation::make(rng, {});
+  TaskGenOptions gopts;
+  const auto spec = make_task(pop, rng, gopts, "task-1");
+  EXPECT_EQ(spec.id, "task-1");
+  EXPECT_GT(spec.work_seconds, 0.0);
+  EXPECT_GE(spec.priority, gopts.priority_min);
+  EXPECT_LE(spec.priority, gopts.priority_max);
+  for (const char* key : {"login", "executable", "queue", "partition", "nodes", "jobtype"}) {
+    EXPECT_TRUE(spec.attributes.count(key)) << key;
+  }
+  EXPECT_EQ(spec.owner, spec.attributes.at("login"));
+}
+
+TEST(TaskGenerator, BatchIdsAndCount) {
+  Rng rng(17);
+  auto pop = ApplicationPopulation::make(rng, {});
+  const auto specs = make_tasks(pop, rng, {}, "batch", 25);
+  ASSERT_EQ(specs.size(), 25u);
+  EXPECT_EQ(specs[0].id, "batch-0");
+  EXPECT_EQ(specs[24].id, "batch-24");
+}
+
+TEST(TaskGenerator, RecordAttributesMatchSchema) {
+  AccountingRecord rec;
+  rec.login = "user1";
+  rec.executable = "app3";
+  rec.queue = "standard";
+  rec.partition = "compute";
+  rec.nodes = 16;
+  rec.interactive = true;
+  const auto attrs = record_attributes(rec);
+  EXPECT_EQ(attrs.at("login"), "user1");
+  EXPECT_EQ(attrs.at("nodes"), "16");
+  EXPECT_EQ(attrs.at("jobtype"), "interactive");
+}
+
+}  // namespace
+}  // namespace gae::workload
