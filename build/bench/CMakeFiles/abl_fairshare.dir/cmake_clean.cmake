@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fairshare.dir/abl_fairshare.cpp.o"
+  "CMakeFiles/abl_fairshare.dir/abl_fairshare.cpp.o.d"
+  "abl_fairshare"
+  "abl_fairshare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fairshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

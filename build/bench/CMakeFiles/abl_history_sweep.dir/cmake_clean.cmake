@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_history_sweep.dir/abl_history_sweep.cpp.o"
+  "CMakeFiles/abl_history_sweep.dir/abl_history_sweep.cpp.o.d"
+  "abl_history_sweep"
+  "abl_history_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_history_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queue_estimator.dir/abl_queue_estimator.cpp.o"
+  "CMakeFiles/abl_queue_estimator.dir/abl_queue_estimator.cpp.o.d"
+  "abl_queue_estimator"
+  "abl_queue_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queue_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replication.dir/abl_replication.cpp.o"
+  "CMakeFiles/abl_replication.dir/abl_replication.cpp.o.d"
+  "abl_replication"
+  "abl_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

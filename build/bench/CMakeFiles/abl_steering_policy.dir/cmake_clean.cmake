@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_steering_policy.dir/abl_steering_policy.cpp.o"
+  "CMakeFiles/abl_steering_policy.dir/abl_steering_policy.cpp.o.d"
+  "abl_steering_policy"
+  "abl_steering_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_steering_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

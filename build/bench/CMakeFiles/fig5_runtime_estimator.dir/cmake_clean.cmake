@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_runtime_estimator.dir/fig5_runtime_estimator.cpp.o"
+  "CMakeFiles/fig5_runtime_estimator.dir/fig5_runtime_estimator.cpp.o.d"
+  "fig5_runtime_estimator"
+  "fig5_runtime_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_runtime_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

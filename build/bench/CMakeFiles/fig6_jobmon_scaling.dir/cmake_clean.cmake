@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_jobmon_scaling.dir/fig6_jobmon_scaling.cpp.o"
+  "CMakeFiles/fig6_jobmon_scaling.dir/fig6_jobmon_scaling.cpp.o.d"
+  "fig6_jobmon_scaling"
+  "fig6_jobmon_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_jobmon_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_steering.dir/fig7_steering.cpp.o"
+  "CMakeFiles/fig7_steering.dir/fig7_steering.cpp.o.d"
+  "fig7_steering"
+  "fig7_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_estimators.dir/micro_estimators.cpp.o"
+  "CMakeFiles/micro_estimators.dir/micro_estimators.cpp.o.d"
+  "micro_estimators"
+  "micro_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

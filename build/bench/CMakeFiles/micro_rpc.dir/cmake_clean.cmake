@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rpc.dir/micro_rpc.cpp.o"
+  "CMakeFiles/micro_rpc.dir/micro_rpc.cpp.o.d"
+  "micro_rpc"
+  "micro_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configured_grid.dir/configured_grid.cpp.o"
+  "CMakeFiles/configured_grid.dir/configured_grid.cpp.o.d"
+  "configured_grid"
+  "configured_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configured_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_weather.dir/grid_weather.cpp.o"
+  "CMakeFiles/grid_weather.dir/grid_weather.cpp.o.d"
+  "grid_weather"
+  "grid_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_client.dir/interactive_client.cpp.o"
+  "CMakeFiles/interactive_client.dir/interactive_client.cpp.o.d"
+  "interactive_client"
+  "interactive_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physics_analysis.dir/physics_analysis.cpp.o"
+  "CMakeFiles/physics_analysis.dir/physics_analysis.cpp.o.d"
+  "physics_analysis"
+  "physics_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physics_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

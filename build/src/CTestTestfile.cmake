@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("net")
+subdirs("rpc")
+subdirs("clarens")
+subdirs("sim")
+subdirs("exec")
+subdirs("monalisa")
+subdirs("workload")
+subdirs("estimators")
+subdirs("quota")
+subdirs("replica")
+subdirs("gridfile")
+subdirs("sphinx")
+subdirs("jobmon")
+subdirs("steering")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clarens/access_control.cpp" "src/clarens/CMakeFiles/gae_clarens.dir/access_control.cpp.o" "gcc" "src/clarens/CMakeFiles/gae_clarens.dir/access_control.cpp.o.d"
+  "/root/repo/src/clarens/auth.cpp" "src/clarens/CMakeFiles/gae_clarens.dir/auth.cpp.o" "gcc" "src/clarens/CMakeFiles/gae_clarens.dir/auth.cpp.o.d"
+  "/root/repo/src/clarens/credentials.cpp" "src/clarens/CMakeFiles/gae_clarens.dir/credentials.cpp.o" "gcc" "src/clarens/CMakeFiles/gae_clarens.dir/credentials.cpp.o.d"
+  "/root/repo/src/clarens/host.cpp" "src/clarens/CMakeFiles/gae_clarens.dir/host.cpp.o" "gcc" "src/clarens/CMakeFiles/gae_clarens.dir/host.cpp.o.d"
+  "/root/repo/src/clarens/registry.cpp" "src/clarens/CMakeFiles/gae_clarens.dir/registry.cpp.o" "gcc" "src/clarens/CMakeFiles/gae_clarens.dir/registry.cpp.o.d"
+  "/root/repo/src/clarens/session_store.cpp" "src/clarens/CMakeFiles/gae_clarens.dir/session_store.cpp.o" "gcc" "src/clarens/CMakeFiles/gae_clarens.dir/session_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gae_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gae_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_clarens.dir/access_control.cpp.o"
+  "CMakeFiles/gae_clarens.dir/access_control.cpp.o.d"
+  "CMakeFiles/gae_clarens.dir/auth.cpp.o"
+  "CMakeFiles/gae_clarens.dir/auth.cpp.o.d"
+  "CMakeFiles/gae_clarens.dir/credentials.cpp.o"
+  "CMakeFiles/gae_clarens.dir/credentials.cpp.o.d"
+  "CMakeFiles/gae_clarens.dir/host.cpp.o"
+  "CMakeFiles/gae_clarens.dir/host.cpp.o.d"
+  "CMakeFiles/gae_clarens.dir/registry.cpp.o"
+  "CMakeFiles/gae_clarens.dir/registry.cpp.o.d"
+  "CMakeFiles/gae_clarens.dir/session_store.cpp.o"
+  "CMakeFiles/gae_clarens.dir/session_store.cpp.o.d"
+  "libgae_clarens.a"
+  "libgae_clarens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_clarens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

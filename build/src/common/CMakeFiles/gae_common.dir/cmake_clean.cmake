@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_common.dir/clock.cpp.o"
+  "CMakeFiles/gae_common.dir/clock.cpp.o.d"
+  "CMakeFiles/gae_common.dir/config.cpp.o"
+  "CMakeFiles/gae_common.dir/config.cpp.o.d"
+  "CMakeFiles/gae_common.dir/id.cpp.o"
+  "CMakeFiles/gae_common.dir/id.cpp.o.d"
+  "CMakeFiles/gae_common.dir/log.cpp.o"
+  "CMakeFiles/gae_common.dir/log.cpp.o.d"
+  "CMakeFiles/gae_common.dir/rng.cpp.o"
+  "CMakeFiles/gae_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gae_common.dir/stats.cpp.o"
+  "CMakeFiles/gae_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gae_common.dir/status.cpp.o"
+  "CMakeFiles/gae_common.dir/status.cpp.o.d"
+  "CMakeFiles/gae_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/gae_common.dir/thread_pool.cpp.o.d"
+  "libgae_common.a"
+  "libgae_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

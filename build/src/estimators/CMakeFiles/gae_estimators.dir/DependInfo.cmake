@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimators/estimate_db.cpp" "src/estimators/CMakeFiles/gae_estimators.dir/estimate_db.cpp.o" "gcc" "src/estimators/CMakeFiles/gae_estimators.dir/estimate_db.cpp.o.d"
+  "/root/repo/src/estimators/history.cpp" "src/estimators/CMakeFiles/gae_estimators.dir/history.cpp.o" "gcc" "src/estimators/CMakeFiles/gae_estimators.dir/history.cpp.o.d"
+  "/root/repo/src/estimators/queue_time_estimator.cpp" "src/estimators/CMakeFiles/gae_estimators.dir/queue_time_estimator.cpp.o" "gcc" "src/estimators/CMakeFiles/gae_estimators.dir/queue_time_estimator.cpp.o.d"
+  "/root/repo/src/estimators/recorder.cpp" "src/estimators/CMakeFiles/gae_estimators.dir/recorder.cpp.o" "gcc" "src/estimators/CMakeFiles/gae_estimators.dir/recorder.cpp.o.d"
+  "/root/repo/src/estimators/rpc_binding.cpp" "src/estimators/CMakeFiles/gae_estimators.dir/rpc_binding.cpp.o" "gcc" "src/estimators/CMakeFiles/gae_estimators.dir/rpc_binding.cpp.o.d"
+  "/root/repo/src/estimators/runtime_estimator.cpp" "src/estimators/CMakeFiles/gae_estimators.dir/runtime_estimator.cpp.o" "gcc" "src/estimators/CMakeFiles/gae_estimators.dir/runtime_estimator.cpp.o.d"
+  "/root/repo/src/estimators/service.cpp" "src/estimators/CMakeFiles/gae_estimators.dir/service.cpp.o" "gcc" "src/estimators/CMakeFiles/gae_estimators.dir/service.cpp.o.d"
+  "/root/repo/src/estimators/similarity.cpp" "src/estimators/CMakeFiles/gae_estimators.dir/similarity.cpp.o" "gcc" "src/estimators/CMakeFiles/gae_estimators.dir/similarity.cpp.o.d"
+  "/root/repo/src/estimators/transfer_estimator.cpp" "src/estimators/CMakeFiles/gae_estimators.dir/transfer_estimator.cpp.o" "gcc" "src/estimators/CMakeFiles/gae_estimators.dir/transfer_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gae_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gae_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gae_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clarens/CMakeFiles/gae_clarens.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gae_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

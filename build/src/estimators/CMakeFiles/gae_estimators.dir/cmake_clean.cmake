@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_estimators.dir/estimate_db.cpp.o"
+  "CMakeFiles/gae_estimators.dir/estimate_db.cpp.o.d"
+  "CMakeFiles/gae_estimators.dir/history.cpp.o"
+  "CMakeFiles/gae_estimators.dir/history.cpp.o.d"
+  "CMakeFiles/gae_estimators.dir/queue_time_estimator.cpp.o"
+  "CMakeFiles/gae_estimators.dir/queue_time_estimator.cpp.o.d"
+  "CMakeFiles/gae_estimators.dir/recorder.cpp.o"
+  "CMakeFiles/gae_estimators.dir/recorder.cpp.o.d"
+  "CMakeFiles/gae_estimators.dir/rpc_binding.cpp.o"
+  "CMakeFiles/gae_estimators.dir/rpc_binding.cpp.o.d"
+  "CMakeFiles/gae_estimators.dir/runtime_estimator.cpp.o"
+  "CMakeFiles/gae_estimators.dir/runtime_estimator.cpp.o.d"
+  "CMakeFiles/gae_estimators.dir/service.cpp.o"
+  "CMakeFiles/gae_estimators.dir/service.cpp.o.d"
+  "CMakeFiles/gae_estimators.dir/similarity.cpp.o"
+  "CMakeFiles/gae_estimators.dir/similarity.cpp.o.d"
+  "CMakeFiles/gae_estimators.dir/transfer_estimator.cpp.o"
+  "CMakeFiles/gae_estimators.dir/transfer_estimator.cpp.o.d"
+  "libgae_estimators.a"
+  "libgae_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

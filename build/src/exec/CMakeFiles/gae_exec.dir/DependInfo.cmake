@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/execution_service.cpp" "src/exec/CMakeFiles/gae_exec.dir/execution_service.cpp.o" "gcc" "src/exec/CMakeFiles/gae_exec.dir/execution_service.cpp.o.d"
+  "/root/repo/src/exec/job.cpp" "src/exec/CMakeFiles/gae_exec.dir/job.cpp.o" "gcc" "src/exec/CMakeFiles/gae_exec.dir/job.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gae_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

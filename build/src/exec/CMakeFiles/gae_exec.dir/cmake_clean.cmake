@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_exec.dir/execution_service.cpp.o"
+  "CMakeFiles/gae_exec.dir/execution_service.cpp.o.d"
+  "CMakeFiles/gae_exec.dir/job.cpp.o"
+  "CMakeFiles/gae_exec.dir/job.cpp.o.d"
+  "libgae_exec.a"
+  "libgae_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

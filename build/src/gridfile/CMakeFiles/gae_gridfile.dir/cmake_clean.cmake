@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_gridfile.dir/file_service.cpp.o"
+  "CMakeFiles/gae_gridfile.dir/file_service.cpp.o.d"
+  "libgae_gridfile.a"
+  "libgae_gridfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_gridfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

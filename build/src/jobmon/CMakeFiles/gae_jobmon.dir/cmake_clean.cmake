@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_jobmon.dir/collector.cpp.o"
+  "CMakeFiles/gae_jobmon.dir/collector.cpp.o.d"
+  "CMakeFiles/gae_jobmon.dir/db_manager.cpp.o"
+  "CMakeFiles/gae_jobmon.dir/db_manager.cpp.o.d"
+  "CMakeFiles/gae_jobmon.dir/rpc_binding.cpp.o"
+  "CMakeFiles/gae_jobmon.dir/rpc_binding.cpp.o.d"
+  "CMakeFiles/gae_jobmon.dir/service.cpp.o"
+  "CMakeFiles/gae_jobmon.dir/service.cpp.o.d"
+  "libgae_jobmon.a"
+  "libgae_jobmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_jobmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_monalisa.dir/repository.cpp.o"
+  "CMakeFiles/gae_monalisa.dir/repository.cpp.o.d"
+  "libgae_monalisa.a"
+  "libgae_monalisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_monalisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

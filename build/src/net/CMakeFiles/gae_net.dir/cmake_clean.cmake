@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_net.dir/socket.cpp.o"
+  "CMakeFiles/gae_net.dir/socket.cpp.o.d"
+  "libgae_net.a"
+  "libgae_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quota/quota_service.cpp" "src/quota/CMakeFiles/gae_quota.dir/quota_service.cpp.o" "gcc" "src/quota/CMakeFiles/gae_quota.dir/quota_service.cpp.o.d"
+  "/root/repo/src/quota/rpc_binding.cpp" "src/quota/CMakeFiles/gae_quota.dir/rpc_binding.cpp.o" "gcc" "src/quota/CMakeFiles/gae_quota.dir/rpc_binding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clarens/CMakeFiles/gae_clarens.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gae_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gae_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_quota.dir/quota_service.cpp.o"
+  "CMakeFiles/gae_quota.dir/quota_service.cpp.o.d"
+  "CMakeFiles/gae_quota.dir/rpc_binding.cpp.o"
+  "CMakeFiles/gae_quota.dir/rpc_binding.cpp.o.d"
+  "libgae_quota.a"
+  "libgae_quota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gae_quota.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replica/catalog.cpp" "src/replica/CMakeFiles/gae_replica.dir/catalog.cpp.o" "gcc" "src/replica/CMakeFiles/gae_replica.dir/catalog.cpp.o.d"
+  "/root/repo/src/replica/replication.cpp" "src/replica/CMakeFiles/gae_replica.dir/replication.cpp.o" "gcc" "src/replica/CMakeFiles/gae_replica.dir/replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gae_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gae_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_replica.dir/catalog.cpp.o"
+  "CMakeFiles/gae_replica.dir/catalog.cpp.o.d"
+  "CMakeFiles/gae_replica.dir/replication.cpp.o"
+  "CMakeFiles/gae_replica.dir/replication.cpp.o.d"
+  "libgae_replica.a"
+  "libgae_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/client.cpp" "src/rpc/CMakeFiles/gae_rpc.dir/client.cpp.o" "gcc" "src/rpc/CMakeFiles/gae_rpc.dir/client.cpp.o.d"
+  "/root/repo/src/rpc/http.cpp" "src/rpc/CMakeFiles/gae_rpc.dir/http.cpp.o" "gcc" "src/rpc/CMakeFiles/gae_rpc.dir/http.cpp.o.d"
+  "/root/repo/src/rpc/jsonrpc.cpp" "src/rpc/CMakeFiles/gae_rpc.dir/jsonrpc.cpp.o" "gcc" "src/rpc/CMakeFiles/gae_rpc.dir/jsonrpc.cpp.o.d"
+  "/root/repo/src/rpc/server.cpp" "src/rpc/CMakeFiles/gae_rpc.dir/server.cpp.o" "gcc" "src/rpc/CMakeFiles/gae_rpc.dir/server.cpp.o.d"
+  "/root/repo/src/rpc/value.cpp" "src/rpc/CMakeFiles/gae_rpc.dir/value.cpp.o" "gcc" "src/rpc/CMakeFiles/gae_rpc.dir/value.cpp.o.d"
+  "/root/repo/src/rpc/xmlrpc.cpp" "src/rpc/CMakeFiles/gae_rpc.dir/xmlrpc.cpp.o" "gcc" "src/rpc/CMakeFiles/gae_rpc.dir/xmlrpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gae_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

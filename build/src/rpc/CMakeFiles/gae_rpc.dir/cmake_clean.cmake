@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_rpc.dir/client.cpp.o"
+  "CMakeFiles/gae_rpc.dir/client.cpp.o.d"
+  "CMakeFiles/gae_rpc.dir/http.cpp.o"
+  "CMakeFiles/gae_rpc.dir/http.cpp.o.d"
+  "CMakeFiles/gae_rpc.dir/jsonrpc.cpp.o"
+  "CMakeFiles/gae_rpc.dir/jsonrpc.cpp.o.d"
+  "CMakeFiles/gae_rpc.dir/server.cpp.o"
+  "CMakeFiles/gae_rpc.dir/server.cpp.o.d"
+  "CMakeFiles/gae_rpc.dir/value.cpp.o"
+  "CMakeFiles/gae_rpc.dir/value.cpp.o.d"
+  "CMakeFiles/gae_rpc.dir/xmlrpc.cpp.o"
+  "CMakeFiles/gae_rpc.dir/xmlrpc.cpp.o.d"
+  "libgae_rpc.a"
+  "libgae_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config_loader.cpp" "src/sim/CMakeFiles/gae_sim.dir/config_loader.cpp.o" "gcc" "src/sim/CMakeFiles/gae_sim.dir/config_loader.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/gae_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/gae_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/grid.cpp" "src/sim/CMakeFiles/gae_sim.dir/grid.cpp.o" "gcc" "src/sim/CMakeFiles/gae_sim.dir/grid.cpp.o.d"
+  "/root/repo/src/sim/load.cpp" "src/sim/CMakeFiles/gae_sim.dir/load.cpp.o" "gcc" "src/sim/CMakeFiles/gae_sim.dir/load.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/gae_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/gae_sim.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

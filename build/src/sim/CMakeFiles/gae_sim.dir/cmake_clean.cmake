@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_sim.dir/config_loader.cpp.o"
+  "CMakeFiles/gae_sim.dir/config_loader.cpp.o.d"
+  "CMakeFiles/gae_sim.dir/engine.cpp.o"
+  "CMakeFiles/gae_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/gae_sim.dir/grid.cpp.o"
+  "CMakeFiles/gae_sim.dir/grid.cpp.o.d"
+  "CMakeFiles/gae_sim.dir/load.cpp.o"
+  "CMakeFiles/gae_sim.dir/load.cpp.o.d"
+  "CMakeFiles/gae_sim.dir/network.cpp.o"
+  "CMakeFiles/gae_sim.dir/network.cpp.o.d"
+  "libgae_sim.a"
+  "libgae_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

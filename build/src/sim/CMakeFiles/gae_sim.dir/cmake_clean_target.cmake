@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgae_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_sphinx.dir/scheduler.cpp.o"
+  "CMakeFiles/gae_sphinx.dir/scheduler.cpp.o.d"
+  "libgae_sphinx.a"
+  "libgae_sphinx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_sphinx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_steering.dir/rpc_binding.cpp.o"
+  "CMakeFiles/gae_steering.dir/rpc_binding.cpp.o.d"
+  "CMakeFiles/gae_steering.dir/service.cpp.o"
+  "CMakeFiles/gae_steering.dir/service.cpp.o.d"
+  "libgae_steering.a"
+  "libgae_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

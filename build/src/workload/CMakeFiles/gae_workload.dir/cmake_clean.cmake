@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gae_workload.dir/paragon_trace.cpp.o"
+  "CMakeFiles/gae_workload.dir/paragon_trace.cpp.o.d"
+  "CMakeFiles/gae_workload.dir/task_generator.cpp.o"
+  "CMakeFiles/gae_workload.dir/task_generator.cpp.o.d"
+  "CMakeFiles/gae_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/gae_workload.dir/trace_io.cpp.o.d"
+  "libgae_workload.a"
+  "libgae_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gae_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clarens_test.dir/clarens_test.cpp.o"
+  "CMakeFiles/clarens_test.dir/clarens_test.cpp.o.d"
+  "clarens_test"
+  "clarens_test.pdb"
+  "clarens_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clarens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

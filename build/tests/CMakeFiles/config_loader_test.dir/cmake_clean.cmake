@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_loader_test.dir/config_loader_test.cpp.o"
+  "CMakeFiles/config_loader_test.dir/config_loader_test.cpp.o.d"
+  "config_loader_test"
+  "config_loader_test.pdb"
+  "config_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

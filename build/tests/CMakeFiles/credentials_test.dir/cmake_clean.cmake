@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credentials_test.dir/credentials_test.cpp.o"
+  "CMakeFiles/credentials_test.dir/credentials_test.cpp.o.d"
+  "credentials_test"
+  "credentials_test.pdb"
+  "credentials_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credentials_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_service_test.dir/estimator_service_test.cpp.o"
+  "CMakeFiles/estimator_service_test.dir/estimator_service_test.cpp.o.d"
+  "estimator_service_test"
+  "estimator_service_test.pdb"
+  "estimator_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimators_queue_test.dir/estimators_queue_test.cpp.o"
+  "CMakeFiles/estimators_queue_test.dir/estimators_queue_test.cpp.o.d"
+  "estimators_queue_test"
+  "estimators_queue_test.pdb"
+  "estimators_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimators_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimators_runtime_test.dir/estimators_runtime_test.cpp.o"
+  "CMakeFiles/estimators_runtime_test.dir/estimators_runtime_test.cpp.o.d"
+  "estimators_runtime_test"
+  "estimators_runtime_test.pdb"
+  "estimators_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimators_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimators_transfer_test.dir/estimators_transfer_test.cpp.o"
+  "CMakeFiles/estimators_transfer_test.dir/estimators_transfer_test.cpp.o.d"
+  "estimators_transfer_test"
+  "estimators_transfer_test.pdb"
+  "estimators_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimators_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

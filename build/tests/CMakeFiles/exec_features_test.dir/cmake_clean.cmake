@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_features_test.dir/exec_features_test.cpp.o"
+  "CMakeFiles/exec_features_test.dir/exec_features_test.cpp.o.d"
+  "exec_features_test"
+  "exec_features_test.pdb"
+  "exec_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

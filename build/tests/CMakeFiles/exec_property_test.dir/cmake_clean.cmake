@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_property_test.dir/exec_property_test.cpp.o"
+  "CMakeFiles/exec_property_test.dir/exec_property_test.cpp.o.d"
+  "exec_property_test"
+  "exec_property_test.pdb"
+  "exec_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_day_test.dir/grid_day_test.cpp.o"
+  "CMakeFiles/grid_day_test.dir/grid_day_test.cpp.o.d"
+  "grid_day_test"
+  "grid_day_test.pdb"
+  "grid_day_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_day_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridfile_test.dir/gridfile_test.cpp.o"
+  "CMakeFiles/gridfile_test.dir/gridfile_test.cpp.o.d"
+  "gridfile_test"
+  "gridfile_test.pdb"
+  "gridfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_robustness_test.dir/http_robustness_test.cpp.o"
+  "CMakeFiles/http_robustness_test.dir/http_robustness_test.cpp.o.d"
+  "http_robustness_test"
+  "http_robustness_test.pdb"
+  "http_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

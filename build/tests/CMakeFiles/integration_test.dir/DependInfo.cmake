@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gae_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gae_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/clarens/CMakeFiles/gae_clarens.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gae_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gae_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/monalisa/CMakeFiles/gae_monalisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gae_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimators/CMakeFiles/gae_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/quota/CMakeFiles/gae_quota.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/gae_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridfile/CMakeFiles/gae_gridfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sphinx/CMakeFiles/gae_sphinx.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobmon/CMakeFiles/gae_jobmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/steering/CMakeFiles/gae_steering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

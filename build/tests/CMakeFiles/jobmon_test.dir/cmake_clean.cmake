@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jobmon_test.dir/jobmon_test.cpp.o"
+  "CMakeFiles/jobmon_test.dir/jobmon_test.cpp.o.d"
+  "jobmon_test"
+  "jobmon_test.pdb"
+  "jobmon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jobmon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

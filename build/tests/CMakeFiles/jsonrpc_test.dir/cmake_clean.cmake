@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsonrpc_test.dir/jsonrpc_test.cpp.o"
+  "CMakeFiles/jsonrpc_test.dir/jsonrpc_test.cpp.o.d"
+  "jsonrpc_test"
+  "jsonrpc_test.pdb"
+  "jsonrpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsonrpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

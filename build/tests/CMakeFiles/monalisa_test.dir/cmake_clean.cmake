@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monalisa_test.dir/monalisa_test.cpp.o"
+  "CMakeFiles/monalisa_test.dir/monalisa_test.cpp.o.d"
+  "monalisa_test"
+  "monalisa_test.pdb"
+  "monalisa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monalisa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

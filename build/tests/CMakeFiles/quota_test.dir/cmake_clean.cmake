@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quota_test.dir/quota_test.cpp.o"
+  "CMakeFiles/quota_test.dir/quota_test.cpp.o.d"
+  "quota_test"
+  "quota_test.pdb"
+  "quota_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quota_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

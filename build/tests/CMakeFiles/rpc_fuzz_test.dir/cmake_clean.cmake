@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_fuzz_test.dir/rpc_fuzz_test.cpp.o"
+  "CMakeFiles/rpc_fuzz_test.dir/rpc_fuzz_test.cpp.o.d"
+  "rpc_fuzz_test"
+  "rpc_fuzz_test.pdb"
+  "rpc_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

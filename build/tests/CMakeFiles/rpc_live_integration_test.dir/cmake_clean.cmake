@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_live_integration_test.dir/rpc_live_integration_test.cpp.o"
+  "CMakeFiles/rpc_live_integration_test.dir/rpc_live_integration_test.cpp.o.d"
+  "rpc_live_integration_test"
+  "rpc_live_integration_test.pdb"
+  "rpc_live_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_live_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

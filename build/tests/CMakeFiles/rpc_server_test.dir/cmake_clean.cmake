@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_server_test.dir/rpc_server_test.cpp.o"
+  "CMakeFiles/rpc_server_test.dir/rpc_server_test.cpp.o.d"
+  "rpc_server_test"
+  "rpc_server_test.pdb"
+  "rpc_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

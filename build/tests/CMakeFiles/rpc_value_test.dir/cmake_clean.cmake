@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_value_test.dir/rpc_value_test.cpp.o"
+  "CMakeFiles/rpc_value_test.dir/rpc_value_test.cpp.o.d"
+  "rpc_value_test"
+  "rpc_value_test.pdb"
+  "rpc_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphinx_test.dir/sphinx_test.cpp.o"
+  "CMakeFiles/sphinx_test.dir/sphinx_test.cpp.o.d"
+  "sphinx_test"
+  "sphinx_test.pdb"
+  "sphinx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphinx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

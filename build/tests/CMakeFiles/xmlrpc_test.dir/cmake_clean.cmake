@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlrpc_test.dir/xmlrpc_test.cpp.o"
+  "CMakeFiles/xmlrpc_test.dir/xmlrpc_test.cpp.o.d"
+  "xmlrpc_test"
+  "xmlrpc_test.pdb"
+  "xmlrpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlrpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
