@@ -1,0 +1,144 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gae {
+
+namespace {
+
+/// splitmix64: a tiny, well-mixed hash; the standard choice for turning a
+/// (seed, counter) pair into an independent deterministic draw.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int RetryPolicy::backoff_ms(int attempt) const {
+  if (attempt < 1 || initial_backoff_ms <= 0) return 0;
+  double interval = static_cast<double>(initial_backoff_ms) *
+                    std::pow(std::max(1.0, backoff_multiplier), attempt - 1);
+  interval = std::min(interval, static_cast<double>(max_backoff_ms));
+  if (jitter_fraction > 0.0) {
+    // Uniform in [-1, 1), derived only from (seed, attempt).
+    const std::uint64_t draw = mix64(jitter_seed ^ static_cast<std::uint64_t>(attempt));
+    const double unit = static_cast<double>(draw >> 11) / 9007199254740992.0;  // [0,1)
+    interval *= 1.0 + jitter_fraction * (2.0 * unit - 1.0);
+  }
+  return std::max(0, static_cast<int>(interval));
+}
+
+bool RetryPolicy::is_retryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+CircuitBreaker::CircuitBreaker(const Clock& clock, CircuitBreakerOptions options)
+    : clock_(clock), options_(options) {}
+
+bool CircuitBreaker::allow() {
+  const SimTime now = clock_.now();
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ < static_cast<SimTime>(options_.open_cooldown_ms) * 1000) {
+        ++rejections_;
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      half_open_in_flight_ = 0;
+      half_open_successes_ = 0;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (half_open_in_flight_ >= options_.half_open_probes) {
+        ++rejections_;
+        return false;
+      }
+      ++half_open_in_flight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  const SimTime now = clock_.now();
+  if (state_ == State::kHalfOpen) {
+    ++half_open_successes_;
+    if (half_open_successes_ >= options_.half_open_probes) {
+      // Recovered: forget the failure history that tripped the breaker.
+      state_ = State::kClosed;
+      window_.clear();
+      window_failures_ = 0;
+    }
+    return;
+  }
+  drop_stale(now);
+  window_.push_back({now, true});
+  if (window_.size() > options_.window_size) {
+    if (!window_.front().ok) --window_failures_;
+    window_.pop_front();
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  const SimTime now = clock_.now();
+  if (state_ == State::kHalfOpen) {
+    trip(now);
+    return;
+  }
+  if (state_ == State::kOpen) return;  // outcome of a straggler; already open
+  drop_stale(now);
+  window_.push_back({now, false});
+  ++window_failures_;
+  if (window_.size() > options_.window_size) {
+    if (!window_.front().ok) --window_failures_;
+    window_.pop_front();
+  }
+  if (window_.size() >= options_.min_samples &&
+      failure_rate() >= options_.failure_rate_threshold) {
+    trip(now);
+  }
+}
+
+double CircuitBreaker::failure_rate() const {
+  if (window_.empty()) return 0.0;
+  return static_cast<double>(window_failures_) / static_cast<double>(window_.size());
+}
+
+void CircuitBreaker::drop_stale(SimTime now) {
+  const SimTime horizon = static_cast<SimTime>(options_.window_ms) * 1000;
+  while (!window_.empty() && now - window_.front().time > horizon) {
+    if (!window_.front().ok) --window_failures_;
+    window_.pop_front();
+  }
+}
+
+void CircuitBreaker::trip(SimTime now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  ++opens_;
+  window_.clear();
+  window_failures_ = 0;
+}
+
+const char* circuit_state_name(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace gae

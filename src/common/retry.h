@@ -1,0 +1,123 @@
+// Reusable fault-tolerance primitives for the RPC layer (and anything else
+// that talks to an unreliable peer): a retry policy with deterministic
+// seeded jitter, and a circuit breaker.
+//
+// Both are clock-injected so virtual-time tests are exact: the breaker takes
+// a Clock& and the retry schedule is a pure function of (policy, attempt),
+// which lets tests assert the entire backoff sequence bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/time_types.h"
+
+namespace gae {
+
+/// How a caller should retry a failed operation. The schedule is
+/// deterministic: backoff_ms(attempt) always returns the same value for the
+/// same policy, so chaos tests replay exactly.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retry).
+  int max_attempts = 3;
+  /// Backoff before the first retry.
+  int initial_backoff_ms = 50;
+  /// Multiplier applied per retry (exponential).
+  double backoff_multiplier = 2.0;
+  /// Ceiling for a single backoff interval.
+  int max_backoff_ms = 5000;
+  /// Jitter as a fraction of the interval, in [0, 1]; the drawn offset is in
+  /// [-jitter, +jitter] * interval and is a pure function of (seed, attempt).
+  double jitter_fraction = 0.1;
+  /// Seed for the deterministic jitter draw.
+  std::uint64_t jitter_seed = 1;
+
+  /// Backoff before retry number `attempt` (1-based: 1 = first retry).
+  /// Always >= 0; exact given the same policy fields.
+  int backoff_ms(int attempt) const;
+
+  /// Codes worth retrying: the peer may recover (UNAVAILABLE) or a later
+  /// attempt may fit the budget (DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED).
+  /// Semantic faults (NOT_FOUND, INVALID_ARGUMENT, ...) never are.
+  static bool is_retryable(StatusCode code);
+
+  /// A policy that never retries.
+  static RetryPolicy none() { return RetryPolicy{1, 0, 1.0, 0, 0.0, 1}; }
+};
+
+/// Options for CircuitBreaker. Defaults are lenient enough that a healthy
+/// service never trips on sporadic failures.
+struct CircuitBreakerOptions {
+  /// Outcomes remembered (sliding window, time-bounded below).
+  std::size_t window_size = 32;
+  /// Outcomes older than this fall out of the window.
+  int window_ms = 60'000;
+  /// Trip when the windowed failure rate reaches this, ...
+  double failure_rate_threshold = 0.5;
+  /// ... but only once the window holds at least this many outcomes.
+  std::size_t min_samples = 5;
+  /// How long an open breaker rejects before probing (half-open).
+  int open_cooldown_ms = 5'000;
+  /// Probes admitted while half-open; all must succeed to close.
+  int half_open_probes = 1;
+};
+
+/// Classic closed/open/half-open circuit breaker.
+///
+///   closed    -> open       when the windowed failure rate trips
+///   open      -> half-open  after open_cooldown_ms
+///   half-open -> closed     when the admitted probes all succeed
+///   half-open -> open       on any probe failure (cooldown restarts)
+///
+/// Not thread-safe; guard externally (RpcClient is itself single-threaded).
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const Clock& clock, CircuitBreakerOptions options = {});
+
+  /// True when a call may proceed now. Performs the open -> half-open
+  /// transition when the cooldown has elapsed; counts rejections otherwise.
+  bool allow();
+
+  /// Report the outcome of a call that allow() admitted.
+  void record_success();
+  void record_failure();
+
+  State state() const { return state_; }
+
+  /// Times the breaker transitioned closed/half-open -> open.
+  std::uint64_t opens() const { return opens_; }
+  /// Calls rejected while open.
+  std::uint64_t rejections() const { return rejections_; }
+
+  /// Failure rate over the current window (0 when empty).
+  double failure_rate() const;
+
+ private:
+  struct Outcome {
+    SimTime time;
+    bool ok;
+  };
+
+  void drop_stale(SimTime now);
+  void trip(SimTime now);
+
+  const Clock& clock_;
+  CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  std::deque<Outcome> window_;
+  std::size_t window_failures_ = 0;
+  SimTime opened_at_ = 0;
+  int half_open_in_flight_ = 0;
+  int half_open_successes_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+const char* circuit_state_name(CircuitBreaker::State state);
+
+}  // namespace gae

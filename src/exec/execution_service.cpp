@@ -459,12 +459,21 @@ void ExecutionService::start_staging(TaskRec& rec, std::size_t node_index) {
     rec.staging_transfers.clear();
     for (const auto& pull : pulls) {
       auto transfer = network_->start_transfer(
-          pull.src, site_, pull.bytes, [this, task_id] {
+          pull.src, site_, pull.bytes,
+          [this, task_id] {
             TaskRec* r = find(task_id);
             if (!r || r->info.state != TaskState::kStaging) return;
             if (--r->staging_pending > 0) return;
             r->staging_transfers.clear();
             begin_running(task_id);
+          },
+          [this, task_id](const Status& cause) {
+            // Link failure mid-staging: the task fails here and steering's
+            // Backup & Recovery decides where it goes next.
+            TaskRec* r = find(task_id);
+            if (!r || r->info.state != TaskState::kStaging) return;
+            detach_from_node(*r);
+            finish(*r, TaskState::kFailed, "staging aborted: " + cause.message());
           });
       if (!transfer.is_ok()) {
         detach_from_node(rec);

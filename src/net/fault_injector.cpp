@@ -1,0 +1,184 @@
+#include "net/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/log.h"
+
+namespace gae::net {
+
+namespace {
+
+/// Deliberately not HTTP: the client's response parser must choke on it.
+constexpr char kGarbageBytes[] = "\x01\x02\x7f GARBAGE \xff\xfe not-http \x00\x03";
+
+/// Copies bytes from -> to until EOF/error, honouring an optional forward
+/// budget. Returns bytes forwarded.
+std::size_t pump(TcpStream& from, TcpStream& to, std::size_t budget, bool unlimited) {
+  char buf[4096];
+  std::size_t forwarded = 0;
+  for (;;) {
+    auto r = from.read_some(buf, sizeof(buf));
+    if (!r.is_ok() || r.value() == 0) break;
+    std::size_t n = r.value();
+    if (!unlimited) {
+      if (forwarded >= budget) break;
+      n = std::min(n, budget - forwarded);
+    }
+    if (!to.write_all(buf, n).is_ok()) break;
+    forwarded += n;
+    if (!unlimited && forwarded >= budget) break;
+  }
+  return forwarded;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kRefuseConnect: return "refuse-connect";
+    case FaultKind::kDropAfterBytes: return "drop-after-bytes";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kGarbage: return "garbage";
+    case FaultKind::kDropResponse: return "drop-response";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(std::string upstream_host, std::uint16_t upstream_port,
+                             FaultPlan plan)
+    : upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port),
+      plan_(std::move(plan)),
+      rng_(plan_.seed) {}
+
+FaultInjector::~FaultInjector() { stop(); }
+
+Result<std::uint16_t> FaultInjector::start() {
+  auto listener = TcpListener::bind(0);
+  if (!listener.is_ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return port_;
+}
+
+void FaultInjector::stop() {
+  if (!running_.exchange(false)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& weak : live_streams_) {
+      if (auto stream = weak.lock()) stream->shutdown_both();
+    }
+    handlers.swap(handlers_);
+  }
+  for (auto& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::map<std::string, std::uint64_t> FaultInjector::fault_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_counts_;
+}
+
+FaultSpec FaultInjector::next_fault() {
+  const std::uint64_t index = connection_index_++;
+  if (index < plan_.script.size()) return plan_.script[index];
+  if (plan_.fault_rate > 0.0 && !plan_.random_kinds.empty() &&
+      rng_.bernoulli(plan_.fault_rate)) {
+    FaultSpec spec;
+    spec.kind = plan_.random_kinds[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(plan_.random_kinds.size()) - 1))];
+    spec.after_bytes = static_cast<std::size_t>(rng_.uniform_int(0, 64));
+    spec.delay_ms = static_cast<int>(rng_.uniform_int(1, 50));
+    return spec;
+  }
+  return FaultSpec{};
+}
+
+void FaultInjector::track(const std::shared_ptr<TcpStream>& stream) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_streams_.push_back(stream);
+}
+
+void FaultInjector::accept_loop() {
+  while (running_.load()) {
+    auto stream = listener_.accept();
+    if (!stream.is_ok()) return;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    const FaultSpec fault = next_fault();
+    if (fault.kind != FaultKind::kNone) {
+      faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto client = std::make_shared<TcpStream>(std::move(stream).value());
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_streams_.push_back(client);
+    fault_counts_[fault_kind_name(fault.kind)]++;
+    handlers_.emplace_back(
+        [this, client, fault]() mutable { handle_connection(std::move(client), fault); });
+  }
+}
+
+void FaultInjector::handle_connection(std::shared_ptr<TcpStream> client, FaultSpec fault) {
+  if (fault.kind == FaultKind::kRefuseConnect) {
+    client->close();
+    return;
+  }
+  if (fault.kind == FaultKind::kGarbage) {
+    client->write_all(kGarbageBytes, sizeof(kGarbageBytes) - 1);
+    client->close();
+    return;
+  }
+  if (fault.kind == FaultKind::kDelay && fault.delay_ms > 0) {
+    // Connection-level stall: the client's first bytes wait in the socket
+    // buffer while its deadline keeps running.
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+    if (!running_.load()) return;
+  }
+
+  auto upstream_result = TcpStream::connect(upstream_host_, upstream_port_);
+  if (!upstream_result.is_ok()) {
+    client->close();
+    return;
+  }
+  auto upstream = std::make_shared<TcpStream>(std::move(upstream_result).value());
+  track(upstream);
+
+  // Downstream pump (server -> client) runs aside; the handler thread pumps
+  // client -> server. Shutdowns propagate EOF across the proxy.
+  std::thread downstream([client, upstream, fault] {
+    if (fault.kind == FaultKind::kDropResponse) {
+      // Let the server's answer arrive, then swallow it and cut the line:
+      // the request executed but the client can never learn the outcome.
+      char buf[4096];
+      auto r = upstream->read_some(buf, sizeof(buf));
+      (void)r;
+      client->shutdown_both();
+      upstream->shutdown_both();
+      return;
+    }
+    pump(*upstream, *client, 0, /*unlimited=*/true);
+    client->shutdown_write();
+  });
+
+  if (fault.kind == FaultKind::kDropAfterBytes) {
+    pump(*client, *upstream, fault.after_bytes, /*unlimited=*/false);
+    client->shutdown_both();
+    upstream->shutdown_both();
+  } else {
+    pump(*client, *upstream, 0, /*unlimited=*/true);
+    upstream->shutdown_write();
+  }
+  downstream.join();
+}
+
+}  // namespace gae::net

@@ -1,0 +1,112 @@
+// Deterministic transport-fault injection for chaos tests and benches.
+//
+// The injector is a loopback TCP proxy that sits between an RpcClient and an
+// RpcServer and misbehaves on schedule: refuse the connection, cut it after
+// N forwarded bytes, delay traffic, answer with garbage, or swallow the
+// response after delivering the request. Which fault hits which connection
+// is decided by a scripted plan first and a seeded RNG after, so a failing
+// chaos run replays bit-for-bit from its seed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace gae::net {
+
+enum class FaultKind {
+  kNone = 0,
+  /// Close the client connection immediately; never dial upstream.
+  kRefuseConnect,
+  /// Forward only the first `after_bytes` client bytes upstream, then cut
+  /// both directions (mid-request connection loss).
+  kDropAfterBytes,
+  /// Hold the client's bytes for `delay_ms` before forwarding (exercises
+  /// client deadlines without killing the connection).
+  kDelay,
+  /// Reply with garbage bytes instead of proxying (framing corruption).
+  kGarbage,
+  /// Deliver the full request upstream but swallow the response and cut the
+  /// connection — the dangerous case for non-idempotent retries: the server
+  /// executed the call, the client cannot know.
+  kDropResponse,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  std::size_t after_bytes = 0;  // kDropAfterBytes
+  int delay_ms = 0;             // kDelay
+};
+
+/// Which connections misbehave. Connection i (0-based accept order) takes
+/// script[i] while the script lasts; afterwards each connection draws a
+/// fault with probability `fault_rate` from `random_kinds`, seeded.
+struct FaultPlan {
+  std::vector<FaultSpec> script;
+  double fault_rate = 0.0;
+  std::uint64_t seed = 1;
+  std::vector<FaultKind> random_kinds = {FaultKind::kRefuseConnect,
+                                         FaultKind::kDropResponse, FaultKind::kGarbage};
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::string upstream_host, std::uint16_t upstream_port, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Binds the proxy listener and starts accepting; returns the port
+  /// clients should connect to.
+  Result<std::uint16_t> start();
+
+  /// Stops accepting, cuts live connections, joins all threads. Idempotent.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t connections_seen() const { return connections_.load(); }
+  std::uint64_t faults_injected() const { return faults_.load(); }
+  /// Faults injected per kind (by name), for assertions and bench reports.
+  std::map<std::string, std::uint64_t> fault_counts() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(std::shared_ptr<TcpStream> client, FaultSpec fault);
+  FaultSpec next_fault();
+
+  /// stop() shuts these down to unblock pumps parked in recv.
+  void track(const std::shared_ptr<TcpStream>& stream);
+
+  std::string upstream_host_;
+  std::uint16_t upstream_port_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::uint64_t connection_index_ = 0;  // acceptor thread only
+
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> faults_{0};
+
+  mutable std::mutex mutex_;
+  std::vector<std::thread> handlers_;
+  std::vector<std::weak_ptr<TcpStream>> live_streams_;
+  std::map<std::string, std::uint64_t> fault_counts_;
+};
+
+}  // namespace gae::net

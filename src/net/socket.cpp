@@ -71,6 +71,11 @@ Result<std::size_t> TcpStream::read_some(void* buf, std::size_t len) {
     const ssize_t n = ::recv(fd_, buf, len, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired (set_recv_timeout_ms): a deadline, not a
+        // dead peer — callers decide whether to retry or hang up.
+        return deadline_exceeded_error("recv timed out");
+      }
       return errno_status("recv");
     }
     return static_cast<std::size_t>(n);

@@ -1,5 +1,9 @@
 #include "rpc/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "rpc/http.h"
 #include "rpc/jsonrpc.h"
 #include "rpc/server.h"  // fault-code <-> StatusCode mapping
@@ -7,17 +11,43 @@
 
 namespace gae::rpc {
 
-RpcClient::RpcClient(std::string host, std::uint16_t port, Protocol protocol)
-    : host_(std::move(host)), port_(port), protocol_(protocol) {}
+namespace {
 
-Status RpcClient::ensure_connected() {
-  if (connected_) return Status::ok();
-  auto stream = net::TcpStream::connect(host_, port_);
-  if (!stream.is_ok()) return stream.status();
-  stream_ = std::move(stream).value();
-  stream_.set_no_delay(true);
-  connected_ = true;
-  return Status::ok();
+/// Legacy single-endpoint clients keep roughly the old semantics — a quick
+/// transparent retry of a dropped keep-alive connection — plus bounded
+/// backoff so a dead server is not hammered in a tight loop.
+ClientOptions legacy_options() {
+  ClientOptions options;
+  options.default_call.retry.max_attempts = 3;
+  options.default_call.retry.initial_backoff_ms = 10;
+  options.default_call.retry.max_backoff_ms = 500;
+  return options;
+}
+
+}  // namespace
+
+RpcClient::RpcClient(std::string host, std::uint16_t port, Protocol protocol)
+    : RpcClient(std::vector<Endpoint>{{std::move(host), port}}, protocol,
+                legacy_options()) {}
+
+RpcClient::RpcClient(std::vector<Endpoint> endpoints, Protocol protocol,
+                     ClientOptions options)
+    : endpoints_(std::move(endpoints)), protocol_(protocol), options_(std::move(options)) {
+  if (options_.clock) {
+    clock_ptr_ = options_.clock;
+  } else {
+    owned_clock_ = std::make_shared<WallClock>();
+    clock_ptr_ = owned_clock_.get();
+  }
+  if (!options_.sleep_ms) {
+    options_.sleep_ms = [](int ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+  breakers_.reserve(endpoints_.size());
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    breakers_.push_back(std::make_unique<CircuitBreaker>(*clock_ptr_, options_.breaker));
+  }
 }
 
 void RpcClient::disconnect() {
@@ -25,21 +55,112 @@ void RpcClient::disconnect() {
   connected_ = false;
 }
 
-Result<Value> RpcClient::call(const std::string& method, const Array& params) {
-  const bool was_connected = connected_;
-  auto result = call_once(method, params);
-  if (result.is_ok() || result.status().code() != StatusCode::kUnavailable || !was_connected) {
-    return result;
-  }
-  // The cached keep-alive connection may have been closed by the server;
-  // reconnect once and retry.
-  disconnect();
-  return call_once(method, params);
+CircuitBreaker::State RpcClient::breaker_state(std::size_t index) const {
+  return breakers_.at(index)->state();
 }
 
-Result<Value> RpcClient::call_once(const std::string& method, const Array& params) {
+int RpcClient::remaining_ms(SimTime deadline) const {
+  return static_cast<int>((deadline - clock().now()) / 1000);
+}
+
+Status RpcClient::ensure_connected() {
+  // Prefer the earliest endpoint whose breaker admits traffic; this fails
+  // over while the primary is open and fails back (via a half-open probe)
+  // once its cooldown elapses.
+  Status last = unavailable_error("rpc client has no endpoints");
+  bool any_admitted = false;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (!breakers_[i]->allow()) continue;
+    any_admitted = true;
+    if (connected_ && connected_endpoint_ == i) return Status::ok();
+    auto stream = net::TcpStream::connect(endpoints_[i].host, endpoints_[i].port);
+    if (!stream.is_ok()) {
+      breakers_[i]->record_failure();
+      last = stream.status();
+      continue;
+    }
+    if (connected_) disconnect();
+    stream_ = std::move(stream).value();
+    stream_.set_no_delay(true);
+    connected_ = true;
+    connected_endpoint_ = i;
+    return Status::ok();
+  }
+  if (!any_admitted) {
+    ++stats_.breaker_rejections;
+    return unavailable_error("circuit open: every endpoint is rejecting calls");
+  }
+  return last;
+}
+
+Result<Value> RpcClient::call(const std::string& method, const Array& params) {
+  return call(method, params, options_.default_call);
+}
+
+Result<Value> RpcClient::call(const std::string& method, const Array& params,
+                              const CallOptions& options) {
+  ++stats_.calls;
+  const SimTime deadline =
+      options.deadline_ms > 0
+          ? clock().now() + static_cast<SimTime>(options.deadline_ms) * 1000
+          : 0;
+  const int max_attempts = std::max(1, options.retry.max_attempts);
+  Status last = unavailable_error("rpc call made no attempts");
+
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++stats_.attempts;
+    bool wrote_request = false;
+    auto result = call_attempt(method, params, deadline, wrote_request);
+    if (result.is_ok()) return result;
+    last = result.status();
+    if (last.code() == StatusCode::kDeadlineExceeded) ++stats_.deadline_exceeded;
+
+    // RPC faults and semantic errors are answers, not outages.
+    if (!RetryPolicy::is_retryable(last.code())) break;
+    if (wrote_request && !options.idempotent) {
+      // The request may have reached (and executed on) the server; blindly
+      // re-sending a non-idempotent call could double-apply it.
+      last = unavailable_error("not retrying non-idempotent call " + method +
+                               " (request may have reached the server): " +
+                               last.message());
+      break;
+    }
+    if (attempt >= max_attempts) break;
+    if (deadline > 0) {
+      const int rem = remaining_ms(deadline);
+      const int backoff = options.retry.backoff_ms(attempt);
+      if (rem <= 0 || backoff >= rem) {
+        ++stats_.deadline_exceeded;
+        last = deadline_exceeded_error("deadline budget exhausted after " +
+                                       std::to_string(attempt) + " attempt(s): " + method);
+        break;
+      }
+      ++stats_.retries;
+      if (backoff > 0) options_.sleep_ms(backoff);
+    } else {
+      ++stats_.retries;
+      const int backoff = options.retry.backoff_ms(attempt);
+      if (backoff > 0) options_.sleep_ms(backoff);
+    }
+  }
+  ++stats_.failed_calls;
+  return last;
+}
+
+Result<Value> RpcClient::call_attempt(const std::string& method, const Array& params,
+                                      SimTime deadline, bool& wrote_request) {
   const Status conn = ensure_connected();
   if (!conn.is_ok()) return conn;
+  CircuitBreaker& breaker = *breakers_[connected_endpoint_];
+  if (connected_endpoint_ != 0) ++stats_.failovers;
+
+  if (deadline > 0) {
+    const int rem = remaining_ms(deadline);
+    if (rem <= 0) return deadline_exceeded_error("deadline expired before send: " + method);
+    stream_.set_recv_timeout_ms(rem);
+  } else {
+    stream_.set_recv_timeout_ms(0);
+  }
 
   http::Request req;
   req.method = "POST";
@@ -55,16 +176,26 @@ Result<Value> RpcClient::call_once(const std::string& method, const Array& param
     req.body = xmlrpc::encode_call(method, params);
   }
 
+  wrote_request = true;
   Status ws = http::write_request(stream_, req);
   if (!ws.is_ok()) {
     disconnect();
+    breaker.record_failure();
     return ws;
   }
   auto respr = http::read_response(stream_);
   if (!respr.is_ok()) {
     disconnect();
+    breaker.record_failure();
+    if (respr.status().code() == StatusCode::kInvalidArgument) {
+      // Unparseable response framing means a corrupt transport, not a bad
+      // argument — report it as the retryable outage it is.
+      return unavailable_error("corrupt response: " + respr.status().message());
+    }
     return respr.status();
   }
+  // The server answered; RPC faults below are its answer, not an outage.
+  breaker.record_success();
   const http::Response resp = std::move(respr).value();
 
   if (protocol_ == Protocol::kJsonRpc) {

@@ -1,11 +1,18 @@
-// Blocking RPC client with a persistent keep-alive connection and one
-// automatic reconnect. Thread-compatible: guard with external synchronisation
-// or use one client per thread (the fig-6 benchmark does the latter).
+// Blocking RPC client with a persistent keep-alive connection, per-call
+// deadlines, retry with deterministic backoff, per-endpoint circuit
+// breakers, and an ordered failover endpoint list. Thread-compatible: guard
+// with external synchronisation or use one client per thread (the fig-6
+// benchmark does the latter).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "common/clock.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "net/socket.h"
 #include "rpc/value.h"
@@ -14,32 +21,113 @@ namespace gae::rpc {
 
 enum class Protocol { kXmlRpc, kJsonRpc };
 
+/// One server address; clients take an ordered failover list of these.
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Per-call knobs. The deadline covers the whole call including retries and
+/// backoff sleeps; it is enforced on the wire via the socket receive timeout.
+struct CallOptions {
+  /// Whole-call budget in wall milliseconds; 0 = none.
+  int deadline_ms = 0;
+  /// Retry schedule for retryable transport errors (UNAVAILABLE,
+  /// DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED). RPC faults from a live server
+  /// are never retried — the server answered.
+  RetryPolicy retry;
+  /// When false, an error after request bytes may have reached the server
+  /// is returned as UNAVAILABLE instead of retried: the call might already
+  /// have executed, and re-sending would double-apply it.
+  bool idempotent = true;
+};
+
+/// Client construction knobs.
+struct ClientOptions {
+  /// Applied by the two-argument call().
+  CallOptions default_call;
+  /// Breaker config shared by every endpoint (each endpoint gets its own
+  /// breaker instance).
+  CircuitBreakerOptions breaker;
+  /// Time source for deadlines and the breakers; null = a shared wall clock.
+  /// Inject a ManualClock for virtual-time breaker tests.
+  const Clock* clock = nullptr;
+  /// Backoff sleeper; null = real sleep. Tests inject a recorder.
+  std::function<void(int ms)> sleep_ms;
+};
+
+/// Counters exposed for monitoring (published to MonALISA by callers).
+struct RpcClientStats {
+  std::uint64_t calls = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  /// Attempts served by an endpoint other than the first in the list.
+  std::uint64_t failovers = 0;
+  std::uint64_t deadline_exceeded = 0;
+  /// Attempts rejected locally because every endpoint's breaker was open.
+  std::uint64_t breaker_rejections = 0;
+  /// Calls that exhausted all attempts (or were non-retryable).
+  std::uint64_t failed_calls = 0;
+};
+
 class RpcClient {
  public:
   RpcClient(std::string host, std::uint16_t port, Protocol protocol = Protocol::kXmlRpc);
+
+  /// Failover list: endpoints are tried in order, skipping those whose
+  /// breaker is open; the earliest healthy endpoint is always preferred.
+  RpcClient(std::vector<Endpoint> endpoints, Protocol protocol,
+            ClientOptions options = {});
 
   /// Session token sent as x-clarens-session on every call ("" = none).
   void set_session_token(std::string token) { session_token_ = std::move(token); }
   const std::string& session_token() const { return session_token_; }
 
-  /// Invokes `method`. RPC faults come back as the originating StatusCode;
-  /// transport failures as UNAVAILABLE.
+  /// Invokes `method` with the client's default CallOptions. RPC faults come
+  /// back as the originating StatusCode; transport failures as UNAVAILABLE;
+  /// an exhausted deadline budget as DEADLINE_EXCEEDED.
   Result<Value> call(const std::string& method, const Array& params = {});
+
+  /// Invokes `method` with explicit per-call options.
+  Result<Value> call(const std::string& method, const Array& params,
+                     const CallOptions& options);
 
   /// Drops the cached connection (next call reconnects).
   void disconnect();
 
+  const RpcClientStats& stats() const { return stats_; }
+
+  /// Breaker state for endpoint `index` (construction order).
+  CircuitBreaker::State breaker_state(std::size_t index) const;
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+
  private:
-  Result<Value> call_once(const std::string& method, const Array& params);
+  /// One wire attempt. Sets `wrote_request` once request bytes may have
+  /// reached the server (the non-idempotent retry guard keys off this).
+  Result<Value> call_attempt(const std::string& method, const Array& params,
+                             SimTime deadline, bool& wrote_request);
+
+  /// Connects to the earliest endpoint whose breaker admits the call,
+  /// failing over down the list. UNAVAILABLE when every endpoint is open
+  /// or unreachable.
   Status ensure_connected();
 
-  std::string host_;
-  std::uint16_t port_;
+  const Clock& clock() const { return *clock_ptr_; }
+  /// Milliseconds until `deadline` (<= 0 means exhausted); deadline 0 = none.
+  int remaining_ms(SimTime deadline) const;
+
+  std::vector<Endpoint> endpoints_;
   Protocol protocol_;
+  ClientOptions options_;
+  std::shared_ptr<Clock> owned_clock_;  // when no clock injected
+  const Clock* clock_ptr_ = nullptr;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
   std::string session_token_;
   net::TcpStream stream_;
   bool connected_ = false;
+  std::size_t connected_endpoint_ = 0;
   std::int64_t next_id_ = 1;
+  RpcClientStats stats_;
 };
 
 }  // namespace gae::rpc

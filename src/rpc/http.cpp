@@ -28,7 +28,7 @@ struct HeadAndSpill {
   std::string spill;
 };
 
-Result<HeadAndSpill> read_head(net::TcpStream& stream) {
+Result<HeadAndSpill> read_head(net::TcpStream& stream, std::size_t max_header_bytes) {
   std::string buf;
   char chunk[4096];
   for (;;) {
@@ -46,7 +46,9 @@ Result<HeadAndSpill> read_head(net::TcpStream& stream) {
       return invalid_argument_error("http: truncated header block");
     }
     buf.append(chunk, r.value());
-    if (buf.size() > 1 << 20) return invalid_argument_error("http: header block too large");
+    if (buf.size() > max_header_bytes) {
+      return invalid_argument_error("http: header block too large");
+    }
   }
 }
 
@@ -63,7 +65,8 @@ Status parse_headers(std::istringstream& lines, std::map<std::string, std::strin
 }
 
 Result<std::string> read_body(net::TcpStream& stream, std::string spill,
-                              const std::map<std::string, std::string>& headers) {
+                              const std::map<std::string, std::string>& headers,
+                              std::size_t max_body_bytes) {
   std::size_t content_length = 0;
   auto it = headers.find("content-length");
   if (it != headers.end()) {
@@ -73,7 +76,7 @@ Result<std::string> read_body(net::TcpStream& stream, std::string spill,
       return invalid_argument_error("http: bad content-length: " + it->second);
     }
   }
-  if (content_length > (64u << 20)) return invalid_argument_error("http: body too large");
+  if (content_length > max_body_bytes) return invalid_argument_error("http: body too large");
   if (spill.size() > content_length) {
     // Pipelined extra bytes are unsupported by this minimal framing.
     return invalid_argument_error("http: unexpected bytes after body");
@@ -105,8 +108,8 @@ std::string Response::header(const std::string& key, const std::string& fallback
   return it == headers.end() ? fallback : it->second;
 }
 
-Result<Request> read_request(net::TcpStream& stream) {
-  auto head = read_head(stream);
+Result<Request> read_request(net::TcpStream& stream, const ReadLimits& limits) {
+  auto head = read_head(stream, limits.max_header_bytes);
   if (!head.is_ok()) return head.status();
 
   std::istringstream lines(head.value().head);
@@ -123,7 +126,8 @@ Result<Request> read_request(net::TcpStream& stream) {
   const Status hs = parse_headers(lines, req.headers);
   if (!hs.is_ok()) return hs;
 
-  auto body = read_body(stream, std::move(head.value().spill), req.headers);
+  auto body = read_body(stream, std::move(head.value().spill), req.headers,
+                        limits.max_body_bytes);
   if (!body.is_ok()) return body.status();
   req.body = std::move(body).value();
   return req;
@@ -144,8 +148,8 @@ Status write_request(net::TcpStream& stream, const Request& req) {
   return stream.write_all(out.str());
 }
 
-Result<Response> read_response(net::TcpStream& stream) {
-  auto head = read_head(stream);
+Result<Response> read_response(net::TcpStream& stream, const ReadLimits& limits) {
+  auto head = read_head(stream, limits.max_header_bytes);
   if (!head.is_ok()) return head.status();
 
   std::istringstream lines(head.value().head);
@@ -165,7 +169,8 @@ Result<Response> read_response(net::TcpStream& stream) {
   const Status hs = parse_headers(lines, resp.headers);
   if (!hs.is_ok()) return hs;
 
-  auto body = read_body(stream, std::move(head.value().spill), resp.headers);
+  auto body = read_body(stream, std::move(head.value().spill), resp.headers,
+                        limits.max_body_bytes);
   if (!body.is_ok()) return body.status();
   resp.body = std::move(body).value();
   return resp;

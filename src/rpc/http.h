@@ -29,13 +29,21 @@ struct Response {
   std::string header(const std::string& key, const std::string& fallback = "") const;
 };
 
+/// Size caps applied while reading a message off the wire; a peer exceeding
+/// them gets INVALID_ARGUMENT instead of unbounded buffering.
+struct ReadLimits {
+  std::size_t max_header_bytes = 1u << 20;
+  std::size_t max_body_bytes = 64u << 20;
+};
+
 /// Reads one request from the stream. UNAVAILABLE on clean EOF before any
-/// bytes (peer closed a kept-alive connection), INVALID_ARGUMENT on garbage.
-Result<Request> read_request(net::TcpStream& stream);
+/// bytes (peer closed a kept-alive connection), INVALID_ARGUMENT on garbage,
+/// DEADLINE_EXCEEDED when the stream's receive timeout expires.
+Result<Request> read_request(net::TcpStream& stream, const ReadLimits& limits = {});
 
 Status write_request(net::TcpStream& stream, const Request& req);
 
-Result<Response> read_response(net::TcpStream& stream);
+Result<Response> read_response(net::TcpStream& stream, const ReadLimits& limits = {});
 
 Status write_response(net::TcpStream& stream, const Response& resp, bool keep_alive);
 

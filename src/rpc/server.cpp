@@ -95,6 +95,8 @@ void RpcServer::unregister_connection(int fd) {
 }
 
 void RpcServer::accept_loop() {
+  const std::size_t max_in_flight =
+      options_.max_in_flight > 0 ? options_.max_in_flight : 2 * options_.num_workers;
   while (running_.load()) {
     auto stream = listener_.accept();
     if (!stream.is_ok()) {
@@ -103,16 +105,29 @@ void RpcServer::accept_loop() {
       }
       return;
     }
+    // Admission control: beyond the in-flight cap every further connection
+    // would only deepen the worker queue (slowloris amplification), so shed
+    // it at the door instead.
+    if (in_flight_.load(std::memory_order_relaxed) >= max_in_flight) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // stream destructor closes the socket
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<net::TcpStream>(std::move(stream).value());
     const bool ok = pool_->submit([this, conn]() mutable {
       serve_connection(std::move(*conn));
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
     });
-    if (!ok) return;
+    if (!ok) {
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
   }
 }
 
 void RpcServer::serve_connection(net::TcpStream stream) {
   stream.set_no_delay(true);
+  if (options_.recv_timeout_ms > 0) stream.set_recv_timeout_ms(options_.recv_timeout_ms);
   register_connection(stream.fd());
   // Unregister before the stream's destructor closes the fd, so stop()
   // never calls shutdown() on an already-recycled descriptor.
@@ -122,12 +137,16 @@ void RpcServer::serve_connection(net::TcpStream stream) {
     ~Deregister() { server->unregister_connection(fd); }
   } deregister{this, stream.fd()};
 
+  const http::ReadLimits limits{options_.max_header_bytes, options_.max_body_bytes};
   while (running_.load()) {
-    auto reqr = http::read_request(stream);
+    auto reqr = http::read_request(stream, limits);
     if (!reqr.is_ok()) {
-      // Clean close of a kept-alive connection is routine; anything else is
-      // worth a log line.
-      if (reqr.status().code() != StatusCode::kUnavailable) {
+      if (reqr.status().code() == StatusCode::kDeadlineExceeded) {
+        // Peer sat silent past the receive timeout; reclaim the worker.
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+      } else if (reqr.status().code() != StatusCode::kUnavailable) {
+        // Clean close of a kept-alive connection is routine; anything else
+        // is worth a log line.
         GAE_LOG(Debug) << "rpc request framing error: " << reqr.status();
       }
       return;

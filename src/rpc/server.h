@@ -69,6 +69,16 @@ StatusCode fault_code_to_status(int fault_code);
 struct ServerOptions {
   std::uint16_t port = 0;  // 0 = ephemeral
   std::size_t num_workers = 8;
+  /// Per-connection receive timeout: a connection that stays silent this
+  /// long (slowloris, wedged peer) is closed and its worker freed. 0
+  /// disables — workers then block on silent peers forever.
+  int recv_timeout_ms = 30'000;
+  /// Request framing caps (oversized peers get INVALID_ARGUMENT + close).
+  std::size_t max_header_bytes = 1u << 20;
+  std::size_t max_body_bytes = 64u << 20;
+  /// Connections admitted concurrently (accepted but not yet finished);
+  /// excess connections are closed at accept. 0 = 2 * num_workers.
+  std::size_t max_in_flight = 0;
 };
 
 class RpcServer {
@@ -90,6 +100,12 @@ class RpcServer {
   /// Total requests served (all connections).
   std::uint64_t requests_served() const { return requests_.load(); }
 
+  /// Connections dropped at accept because max_in_flight was reached.
+  std::uint64_t connections_rejected() const { return rejected_.load(); }
+
+  /// Connections closed because the peer went silent past recv_timeout_ms.
+  std::uint64_t connections_timed_out() const { return timeouts_.load(); }
+
  private:
   void accept_loop();
   void serve_connection(net::TcpStream stream);
@@ -106,6 +122,9 @@ class RpcServer {
   std::thread acceptor_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::size_t> in_flight_{0};
   std::uint16_t port_ = 0;
   std::mutex conns_mutex_;
   std::set<int> active_conns_;

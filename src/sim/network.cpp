@@ -9,9 +9,13 @@ NetworkManager::NetworkManager(Simulation& sim, Grid& grid) : sim_(sim), grid_(g
 Result<TransferId> NetworkManager::start_transfer(const std::string& src,
                                                   const std::string& dst,
                                                   std::uint64_t bytes,
-                                                  std::function<void()> on_complete) {
+                                                  std::function<void()> on_complete,
+                                                  AbortCallback on_abort) {
   if (!grid_.has_site(src)) return not_found_error("unknown site: " + src);
   if (!grid_.has_site(dst)) return not_found_error("unknown site: " + dst);
+  if (src != dst && link_failed(src, dst)) {
+    return unavailable_error("link " + src + "->" + dst + " is down");
+  }
 
   const TransferId id = next_id_++;
   if (src == dst || bytes == 0) {
@@ -24,6 +28,7 @@ Result<TransferId> NetworkManager::start_transfer(const std::string& src,
     t.segment_start = sim_.now();
     t.rate = 0;
     t.on_complete = std::move(on_complete);
+    t.on_abort = std::move(on_abort);
     t.event = sim_.schedule_after(latency, [this, id] { on_transfer_done(id); });
     transfers_.emplace(id, std::move(t));
     return id;
@@ -41,6 +46,7 @@ Result<TransferId> NetworkManager::start_transfer(const std::string& src,
   t.segment_start = sim_.now();
   t.rate = 0;  // set by replan_link
   t.on_complete = std::move(on_complete);
+  t.on_abort = std::move(on_abort);
   transfers_.emplace(id, std::move(t));
   ++link_counts_[{src, dst}];
   replan_link({src, dst});
@@ -60,6 +66,39 @@ bool NetworkManager::cancel(TransferId id) {
     replan_link(link);
   }
   return true;
+}
+
+void NetworkManager::fail_link(const std::string& src, const std::string& dst,
+                               SimDuration window) {
+  const LinkKey link{src, dst};
+  link_failed_until_[link] = sim_.now() + (window > 0 ? window : 0);
+
+  // Abort every in-flight transfer on the link; callbacks fire after the
+  // bookkeeping settles so they observe a consistent manager.
+  std::vector<AbortCallback> aborts;
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    Transfer& t = it->second;
+    if (t.link != link) {
+      ++it;
+      continue;
+    }
+    if (t.event != sim::kInvalidEvent) sim_.cancel(t.event);
+    const bool shared = t.rate > 0 || t.remaining_bytes > 0;
+    if (shared) {
+      auto count = link_counts_.find(link);
+      if (count != link_counts_.end() && --count->second == 0) link_counts_.erase(count);
+    }
+    if (t.on_abort) aborts.push_back(std::move(t.on_abort));
+    it = transfers_.erase(it);
+    ++aborted_;
+  }
+  const Status cause = unavailable_error("link " + src + "->" + dst + " failed");
+  for (auto& abort : aborts) abort(cause);
+}
+
+bool NetworkManager::link_failed(const std::string& src, const std::string& dst) const {
+  auto it = link_failed_until_.find({src, dst});
+  return it != link_failed_until_.end() && sim_.now() < it->second;
 }
 
 std::size_t NetworkManager::active_on_link(const std::string& src,

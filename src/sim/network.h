@@ -33,16 +33,32 @@ class NetworkManager {
   NetworkManager(const NetworkManager&) = delete;
   NetworkManager& operator=(const NetworkManager&) = delete;
 
+  using AbortCallback = std::function<void(const Status&)>;
+
   /// Starts a transfer of `bytes` from `src` to `dst`; `on_complete` fires
   /// (in virtual time) when the last byte lands. Same-site transfers
   /// complete after the link latency only. Returns an id for cancel().
+  /// `on_abort` fires instead (with UNAVAILABLE) when the link fails
+  /// mid-transfer; without one the transfer dies silently.
   Result<TransferId> start_transfer(const std::string& src, const std::string& dst,
                                     std::uint64_t bytes,
-                                    std::function<void()> on_complete);
+                                    std::function<void()> on_complete,
+                                    AbortCallback on_abort = nullptr);
 
   /// Cancels an in-flight transfer (its callback never fires). False when
   /// the transfer already completed or never existed.
   bool cancel(TransferId id);
+
+  /// Fails the directed link src->dst for `window` of virtual time: every
+  /// in-flight transfer on it aborts (on_abort gets UNAVAILABLE) and new
+  /// transfers are refused with UNAVAILABLE until the window closes. The
+  /// chaos tests use this to knock out a site's WAN mid-staging.
+  void fail_link(const std::string& src, const std::string& dst, SimDuration window);
+
+  /// True while the directed link is inside a failure window.
+  bool link_failed(const std::string& src, const std::string& dst) const;
+
+  std::uint64_t aborted_transfers() const { return aborted_; }
 
   /// Active transfers on the directed link src->dst.
   std::size_t active_on_link(const std::string& src, const std::string& dst) const;
@@ -61,6 +77,7 @@ class NetworkManager {
     double rate;  // bytes/s this segment
     sim::EventId event = sim::kInvalidEvent;
     std::function<void()> on_complete;
+    AbortCallback on_abort;
   };
 
   /// Folds elapsed time into remaining_bytes for every transfer on `link`,
@@ -73,8 +90,10 @@ class NetworkManager {
   Grid& grid_;
   std::map<TransferId, Transfer> transfers_;
   std::map<LinkKey, std::size_t> link_counts_;
+  std::map<LinkKey, SimTime> link_failed_until_;
   TransferId next_id_ = 1;
   std::uint64_t completed_ = 0;
+  std::uint64_t aborted_ = 0;
 };
 
 }  // namespace gae::sim

@@ -1,0 +1,87 @@
+// Append-only recovery journal for the Steering Service.
+//
+// Steering's Backup & Recovery state (which tasks are watched, where they
+// are placed, how they have moved) used to live only in memory: one crashed
+// service host orphaned every watched task. The journal persists that state
+// through a pluggable sink as it changes, and restore_from_journal() replays
+// it so a restarted steering service re-adopts its tasks.
+//
+// Format: one record per line, "v1 <kind> key=value ...", keys/values
+// percent-escaped. Append-only by construction — recovery state is always a
+// fold over the full history, never an in-place update.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gae::steering {
+
+/// Where journal lines go. Implementations must append durably enough for
+/// their deployment (memory for tests, fsync'd file for a real service).
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+  virtual Status append(const std::string& line) = 0;
+};
+
+/// Test/simulation sink: lines kept in memory, handed back for replay.
+class MemoryJournalSink final : public JournalSink {
+ public:
+  Status append(const std::string& line) override {
+    lines_.push_back(line);
+    return Status::ok();
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// File-backed sink; every append is flushed so a crash loses at most the
+/// line being written.
+class FileJournalSink final : public JournalSink {
+ public:
+  /// Opens `path` for append; INTERNAL on open failure (reported lazily by
+  /// the first append).
+  explicit FileJournalSink(std::string path);
+  ~FileJournalSink();
+
+  Status append(const std::string& line) override;
+
+ private:
+  std::string path_;
+  void* file_ = nullptr;  // FILE*, kept out of the header
+};
+
+/// One journal record: a kind plus flat string fields.
+struct JournalRecord {
+  std::string kind;  // "watch" | "place" | "move" | "recover" | "restart" | "done"
+  std::map<std::string, std::string> fields;
+
+  std::string field(const std::string& key, const std::string& fallback = "") const;
+  double field_double(const std::string& key, double fallback = 0.0) const;
+
+  /// Serialises to one "v1 ..." line (no trailing newline).
+  std::string to_line() const;
+
+  /// Parses a line written by to_line(). INVALID_ARGUMENT on malformed or
+  /// unknown-version input.
+  static Result<JournalRecord> parse(const std::string& line);
+};
+
+/// Parses a whole journal, skipping blank lines. Fails on the first
+/// malformed record (a torn final line after a crash is the caller's call:
+/// pass `tolerate_trailing_garbage` to drop it instead).
+Result<std::vector<JournalRecord>> parse_journal(const std::vector<std::string>& lines,
+                                                 bool tolerate_trailing_garbage = false);
+
+/// Reads a file-backed journal written through FileJournalSink.
+Result<std::vector<JournalRecord>> read_journal_file(const std::string& path,
+                                                     bool tolerate_trailing_garbage = true);
+
+}  // namespace gae::steering

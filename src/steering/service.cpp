@@ -1,10 +1,46 @@
 #include "steering/service.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/log.h"
 
 namespace gae::steering {
+
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += ',';
+    out += p;
+  }
+  return out;
+}
+
+std::vector<std::string> split_commas(const std::string& in) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : in) {
+    if (c == ',') {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+}  // namespace
 
 SteeringService::SteeringService(Deps deps, SteeringOptions options)
     : deps_(std::move(deps)), options_(std::move(options)) {
@@ -45,12 +81,37 @@ SteeringService::~SteeringService() {
 
 void SteeringService::watch_plan(const sphinx::JobDescription& job,
                                  const sphinx::ConcreteJobPlan& plan) {
+  std::map<std::string, std::string> placed_at;
+  for (const auto& p : plan.placements) placed_at[p.task_id] = p.site;
+
   for (const auto& dag_task : job.tasks) {
     Watch watch;
     watch.job_id = plan.job_id;
     watch.owner = job.owner.empty() ? dag_task.spec.owner : job.owner;
     watch.spec = dag_task.spec;
     watch.spec.job_id = plan.job_id;
+
+    JournalRecord rec;
+    rec.kind = "watch";
+    rec.fields["task"] = dag_task.spec.id;
+    rec.fields["job"] = plan.job_id;
+    rec.fields["owner"] = watch.owner;
+    rec.fields["site"] = placed_at.count(dag_task.spec.id)
+                             ? placed_at[dag_task.spec.id]
+                             : std::string();
+    rec.fields["executable"] = dag_task.spec.executable;
+    rec.fields["work"] = format_double(dag_task.spec.work_seconds);
+    rec.fields["priority"] = std::to_string(dag_task.spec.priority);
+    rec.fields["checkpointable"] = dag_task.spec.checkpointable ? "1" : "0";
+    rec.fields["output_bytes"] = std::to_string(dag_task.spec.output_bytes);
+    if (!dag_task.spec.input_files.empty()) {
+      rec.fields["inputs"] = join(dag_task.spec.input_files);
+    }
+    for (const auto& [key, value] : dag_task.spec.attributes) {
+      rec.fields["attr." + key] = value;
+    }
+    journal_append(std::move(rec));
+
     watches_[dag_task.spec.id] = std::move(watch);
   }
   GAE_LOG(Debug) << "steering now watching job " << plan.job_id << " ("
@@ -105,7 +166,14 @@ Status SteeringService::kill(const std::string& token, const std::string& task_i
   auto service = service_for(deps_.services, deps_.scheduler, task_id);
   if (!service.is_ok()) return service.status();
   const Status s = service.value()->kill(task_id, "killed via steering service");
-  if (s.is_ok()) watch->second.done = true;
+  if (s.is_ok()) {
+    watch->second.done = true;
+    JournalRecord rec;
+    rec.kind = "done";
+    rec.fields["task"] = task_id;
+    rec.fields["outcome"] = "killed";
+    journal_append(std::move(rec));
+  }
   return s;
 }
 
@@ -177,6 +245,13 @@ Result<sphinx::SitePlacement> SteeringService::restart(const std::string& token,
   // Re-arm the periodic passes: the watch is active again.
   if (optimizer_event_ == sim::kInvalidEvent) arm_optimizer();
   if (recovery_event_ == sim::kInvalidEvent) arm_recovery();
+
+  JournalRecord rec;
+  rec.kind = "restart";
+  rec.fields["task"] = task_id;
+  rec.fields["site"] = placement.value().site;
+  rec.fields["carried"] = format_double(carried);
+  journal_append(std::move(rec));
 
   Notification n;
   n.time = deps_.sim ? deps_.sim->now() : 0;
@@ -257,6 +332,15 @@ Result<sphinx::SitePlacement> SteeringService::do_move(Watch& watch,
   } else {
     ++stats_.manual_moves;
   }
+
+  JournalRecord rec;
+  rec.kind = "move";
+  rec.fields["task"] = task_id;
+  rec.fields["from"] = current.value();
+  rec.fields["to"] = placement.value().site;
+  rec.fields["carried"] = format_double(carried);
+  rec.fields["automatic"] = automatic ? "1" : "0";
+  journal_append(std::move(rec));
 
   Notification n;
   n.time = deps_.sim ? deps_.sim->now() : 0;
@@ -400,6 +484,16 @@ void SteeringService::recovery_tick() {
         watch.last_checked = kSimTimeNever;
         watch.last_cpu_seconds = carried;
         ++stats_.recoveries;
+
+        JournalRecord rec;
+        rec.kind = "recover";
+        rec.fields["task"] = task_id;
+        rec.fields["from"] = site.value();
+        rec.fields["to"] = placement.value().site;
+        rec.fields["carried"] = format_double(carried);
+        rec.fields["reason"] = "service_failure";
+        journal_append(std::move(rec));
+
         Notification n;
         n.time = deps_.sim ? deps_.sim->now() : 0;
         n.kind = "recovered";
@@ -408,10 +502,48 @@ void SteeringService::recovery_tick() {
         n.detail = site.value() + " -> " + placement.value().site;
         notify(std::move(n));
       }
+    } else if (watch.resubmits < options_.max_auto_resubmits) {
+      // Task-level failure with a live service (e.g. staging aborted by a
+      // link failure). When allowed, resubmit through Sphinx — no site is
+      // excluded, the same site may win again once the fault clears.
+      const double carried = watch.spec.checkpointable ? watch.last_cpu_seconds : 0.0;
+      auto placement = deps_.scheduler->reallocate(task_id, {}, carried);
+      if (placement.is_ok()) {
+        ++watch.resubmits;
+        watch.failed = false;
+        watch.first_running_seen = kSimTimeNever;
+        watch.last_checked = kSimTimeNever;
+        watch.last_cpu_seconds = carried;
+        ++stats_.resubmits;
+
+        JournalRecord rec;
+        rec.kind = "recover";
+        rec.fields["task"] = task_id;
+        rec.fields["from"] = site.value();
+        rec.fields["to"] = placement.value().site;
+        rec.fields["carried"] = format_double(carried);
+        rec.fields["reason"] = "task_failure";
+        journal_append(std::move(rec));
+
+        Notification n;
+        n.time = deps_.sim ? deps_.sim->now() : 0;
+        n.kind = "recovered";
+        n.job_id = watch.job_id;
+        n.task_id = task_id;
+        n.detail = "resubmitted (" + std::to_string(watch.resubmits) + "/" +
+                   std::to_string(options_.max_auto_resubmits) + ") to " +
+                   placement.value().site;
+        notify(std::move(n));
+      }
     } else {
       // Task-level failure with a live service: already reported; the user
       // (or a manual resubmission) decides what happens next.
       watch.done = true;
+      JournalRecord rec;
+      rec.kind = "done";
+      rec.fields["task"] = task_id;
+      rec.fields["outcome"] = "failed";
+      journal_append(std::move(rec));
     }
   }
 }
@@ -434,6 +566,11 @@ void SteeringService::on_task_event(const std::string& site, const exec::TaskEve
   if (ev.new_state == exec::TaskState::kCompleted) {
     watch.done = true;
     ++stats_.completions;
+    JournalRecord rec;
+    rec.kind = "done";
+    rec.fields["task"] = ev.task_id;
+    rec.fields["outcome"] = "completed";
+    journal_append(std::move(rec));
     Notification n;
     n.time = ev.time;
     n.kind = "completed";
@@ -468,7 +605,114 @@ void SteeringService::on_task_event(const std::string& site, const exec::TaskEve
 
 void SteeringService::notify(Notification n) {
   log_.push_back(n);
+  publish_stats();
   for (const auto& [_, cb] : subscribers_) cb(n);
+}
+
+void SteeringService::journal_append(JournalRecord rec) {
+  if (!deps_.journal) return;
+  rec.fields["t"] = std::to_string(deps_.sim ? deps_.sim->now() : 0);
+  const Status s = deps_.journal->append(rec.to_line());
+  if (s.is_ok()) {
+    ++stats_.journal_appends;
+  } else {
+    // A journal outage must not take steering down with it; recovery after a
+    // crash just gets older state.
+    GAE_LOG(Warn) << "recovery journal append failed: " << s.message();
+  }
+}
+
+void SteeringService::publish_stats() {
+  if (!deps_.monitoring) return;
+  const SimTime now = deps_.sim ? deps_.sim->now() : 0;
+  deps_.monitoring->publish("steering", "auto_moves", now,
+                            static_cast<double>(stats_.auto_moves));
+  deps_.monitoring->publish("steering", "manual_moves", now,
+                            static_cast<double>(stats_.manual_moves));
+  deps_.monitoring->publish("steering", "recoveries", now,
+                            static_cast<double>(stats_.recoveries));
+  deps_.monitoring->publish("steering", "resubmits", now,
+                            static_cast<double>(stats_.resubmits));
+  deps_.monitoring->publish("steering", "completions", now,
+                            static_cast<double>(stats_.completions));
+  deps_.monitoring->publish("steering", "failures", now,
+                            static_cast<double>(stats_.failures));
+  deps_.monitoring->publish("steering", "journal_appends", now,
+                            static_cast<double>(stats_.journal_appends));
+}
+
+// ---------------------------------------------------------------------------
+// Journal replay
+// ---------------------------------------------------------------------------
+
+Status SteeringService::restore_from_journal(const std::vector<JournalRecord>& records) {
+  struct Replayed {
+    Watch watch;
+    bool done = false;
+  };
+  std::map<std::string, Replayed> replayed;
+
+  for (const JournalRecord& rec : records) {
+    ++stats_.journal_replayed;
+    const std::string task = rec.field("task");
+    if (task.empty()) continue;
+
+    if (rec.kind == "watch") {
+      Replayed r;
+      r.watch.job_id = rec.field("job");
+      r.watch.owner = rec.field("owner");
+      exec::TaskSpec& spec = r.watch.spec;
+      spec.id = task;
+      spec.job_id = r.watch.job_id;
+      spec.owner = r.watch.owner;
+      spec.executable = rec.field("executable");
+      spec.work_seconds = rec.field_double("work");
+      spec.priority = static_cast<int>(rec.field_double("priority"));
+      spec.checkpointable = rec.field("checkpointable") == "1";
+      spec.output_bytes =
+          static_cast<std::uint64_t>(rec.field_double("output_bytes"));
+      spec.input_files = split_commas(rec.field("inputs"));
+      for (const auto& [key, value] : rec.fields) {
+        if (key.rfind("attr.", 0) == 0) spec.attributes[key.substr(5)] = value;
+      }
+      replayed[task] = std::move(r);
+    } else if (rec.kind == "move" || rec.kind == "recover" || rec.kind == "restart") {
+      auto it = replayed.find(task);
+      if (it == replayed.end()) continue;  // watch record lost; skip
+      it->second.done = false;
+      it->second.watch.failed = false;
+      it->second.watch.last_cpu_seconds = rec.field_double("carried");
+      if (rec.kind == "move") ++it->second.watch.moves;
+      if (rec.kind == "recover" && rec.field("reason") == "task_failure") {
+        ++it->second.watch.resubmits;
+      }
+    } else if (rec.kind == "done") {
+      auto it = replayed.find(task);
+      if (it != replayed.end()) it->second.done = true;
+    }
+    // Unknown kinds from a newer writer are skipped, not fatal.
+  }
+
+  for (auto& [task_id, r] : replayed) {
+    if (r.done) continue;
+    if (watches_.count(task_id)) continue;  // already watching; replay is idempotent
+    // Timers restart from scratch — the optimizer re-observes before judging.
+    r.watch.first_running_seen = kSimTimeNever;
+    r.watch.last_checked = kSimTimeNever;
+    watches_[task_id] = std::move(r.watch);
+    ++stats_.journal_adopted;
+  }
+
+  if (optimizer_event_ == sim::kInvalidEvent) arm_optimizer();
+  if (recovery_event_ == sim::kInvalidEvent) arm_recovery();
+  publish_stats();
+  return Status::ok();
+}
+
+Status SteeringService::restore_from_journal(const std::vector<std::string>& lines) {
+  auto records = parse_journal(lines, /*tolerate_trailing_garbage=*/true);
+  if (!records.is_ok()) return records.status();
+  return restore_from_journal(records.value());
 }
 
 std::vector<Notification> SteeringService::notifications_since(std::size_t after,

@@ -31,6 +31,7 @@
 #include "quota/quota_service.h"
 #include "sim/engine.h"
 #include "sphinx/scheduler.h"
+#include "steering/journal.h"
 
 namespace gae::steering {
 
@@ -56,6 +57,11 @@ struct SteeringOptions {
   double recovery_interval_seconds = 30.0;
   /// Maximum automatic moves per task (stops ping-ponging).
   int max_moves_per_task = 3;
+  /// Backup & Recovery may resubmit a task that failed while its execution
+  /// service stayed up (e.g. staging aborted by a link failure) this many
+  /// times before giving up. 0 keeps the historical behaviour: task-level
+  /// failures are terminal and wait for a manual restart().
+  int max_auto_resubmits = 0;
 };
 
 /// Client-visible notification (the paper's steering service "provides
@@ -72,9 +78,13 @@ struct Notification {
 struct SteeringStats {
   std::size_t auto_moves = 0;
   std::size_t manual_moves = 0;
-  std::size_t recoveries = 0;
+  std::size_t recoveries = 0;  // service-failure resubmissions via Sphinx
+  std::size_t resubmits = 0;   // task-level failure resubmissions (link chaos)
   std::size_t completions = 0;
   std::size_t failures = 0;
+  std::size_t journal_appends = 0;
+  std::size_t journal_replayed = 0;  // records folded by restore_from_journal
+  std::size_t journal_adopted = 0;   // watches re-adopted after a restart
 };
 
 class SteeringService {
@@ -86,6 +96,8 @@ class SteeringService {
     std::map<std::string, exec::ExecutionService*> services;
     quota::QuotaAccountingService* quota = nullptr;  // optional; "cheap" mode
     clarens::AuthService* auth = nullptr;            // optional; session manager
+    JournalSink* journal = nullptr;                  // optional; Backup & Recovery
+    monalisa::Repository* monitoring = nullptr;      // optional; counter export
   };
 
   SteeringService(Deps deps, SteeringOptions options = {});
@@ -142,6 +154,17 @@ class SteeringService {
 
   const SteeringStats& stats() const { return stats_; }
 
+  // -- Backup & Recovery journal ---------------------------------------------
+
+  /// Rebuilds watch state from a recovery journal (the fold of all records):
+  /// non-terminal tasks are re-adopted and the periodic passes re-armed, so a
+  /// restarted steering service picks up where the crashed one stopped.
+  /// Already-watched tasks are left alone — replay is idempotent.
+  Status restore_from_journal(const std::vector<JournalRecord>& records);
+
+  /// Convenience: parse raw journal lines, then restore.
+  Status restore_from_journal(const std::vector<std::string>& lines);
+
   /// Runs one optimizer pass immediately (tests and manual tools).
   void optimizer_tick();
   /// Runs one Backup & Recovery pass immediately.
@@ -156,6 +179,7 @@ class SteeringService {
     SimTime last_checked = kSimTimeNever;
     SimTime first_running_seen = kSimTimeNever;
     int moves = 0;
+    int resubmits = 0;    // automatic task-level resubmissions so far
     bool done = false;    // terminal and reported; no further steering
     bool failed = false;  // awaiting Backup & Recovery's verdict
   };
@@ -173,6 +197,12 @@ class SteeringService {
 
   void on_task_event(const std::string& site, const exec::TaskEvent& ev);
   void notify(Notification n);
+
+  /// Appends one record to the recovery journal (no-op without a sink).
+  void journal_append(JournalRecord rec);
+  /// Pushes the current counters into the MonALISA repository (no-op without
+  /// one) so operators see steering health next to site load.
+  void publish_stats();
 
   /// True while any watched task still needs attention. The periodic
   /// optimizer/recovery events only stay armed while this holds, so a

@@ -2,7 +2,10 @@
 // inputs without hanging or crashing, and HTTP framing must round-trip.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "net/socket.h"
 #include "rpc/client.h"
@@ -101,6 +104,77 @@ TEST_F(RawSocketTest, HeaderBlockSizeCapEnforced) {
   huge.append(2 << 20, 'x');  // 2 MB of header garbage, no terminator
   send_raw(huge);
   RpcClient client("127.0.0.1", port_);
+  EXPECT_TRUE(client.call("echo", {Value(1)}).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Server hardening: silent peers and connection backpressure
+// ---------------------------------------------------------------------------
+
+TEST(ServerHardening, SilentClientCannotWedgeTheOnlyWorker) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;  // one wedged worker would wedge the server
+  options.recv_timeout_ms = 300;
+  RpcServer server(echo_dispatcher(), options);
+  auto port = server.start();
+  ASSERT_TRUE(port.is_ok());
+
+  // A client that connects and never sends a byte (slowloris-style). Without
+  // the receive timeout this parks the only worker forever.
+  auto silent = net::TcpStream::connect("127.0.0.1", port.value());
+  ASSERT_TRUE(silent.is_ok());
+
+  // A real call queued behind the silent peer completes once the timeout
+  // frees the worker.
+  RpcClient client("127.0.0.1", port.value());
+  auto r = client.call("echo", {Value(7)});
+  ASSERT_TRUE(r.is_ok()) << r.status();
+  EXPECT_EQ(r.value().as_int(), 7);
+  EXPECT_GE(server.connections_timed_out(), 1u);
+}
+
+TEST(ServerHardening, ExcessConnectionsShedAtAccept) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  options.max_in_flight = 1;
+  options.recv_timeout_ms = 10'000;  // the parked connection stays parked
+  RpcServer server(echo_dispatcher(), options);
+  auto port = server.start();
+  ASSERT_TRUE(port.is_ok());
+
+  // Fill the admission budget with one idle connection, then pile on more;
+  // the server must shed them at accept instead of queueing unboundedly.
+  std::vector<net::TcpStream> held;
+  for (int i = 0; i < 5; ++i) {
+    auto conn = net::TcpStream::connect("127.0.0.1", port.value());
+    if (conn.is_ok()) held.push_back(std::move(conn).value());
+  }
+  // The acceptor drains the backlog asynchronously; give it a moment.
+  for (int i = 0; i < 200 && server.connections_rejected() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.connections_rejected(), 1u);
+}
+
+TEST(ServerHardening, ConfiguredBodyCapRejectsOversizedRequests) {
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 2;
+  options.max_body_bytes = 1024;
+  RpcServer server(echo_dispatcher(), options);
+  auto port = server.start();
+  ASSERT_TRUE(port.is_ok());
+
+  auto conn = net::TcpStream::connect("127.0.0.1", port.value());
+  ASSERT_TRUE(conn.is_ok());
+  conn.value().set_recv_timeout_ms(2000);
+  const std::string body(2048, 'x');
+  conn.value().write_all("POST /rpc HTTP/1.1\r\ncontent-length: " +
+                         std::to_string(body.size()) + "\r\n\r\n" + body);
+  // The oversized request is refused and the server stays serviceable.
+  RpcClient client("127.0.0.1", port.value());
   EXPECT_TRUE(client.call("echo", {Value(1)}).is_ok());
 }
 

@@ -181,5 +181,51 @@ TEST_F(NetworkTest, KillDuringContendedStagingCancelsTransfers) {
   EXPECT_EQ(service.query("t1").value().state, exec::TaskState::kKilled);
 }
 
+TEST_F(NetworkTest, LinkFailureAbortsInFlightTransfers) {
+  bool completed = false;
+  Status abort_cause;
+  ASSERT_TRUE(net_.start_transfer("a", "b", 1'000'000'000,
+                                  [&] { completed = true; },
+                                  [&](const Status& s) { abort_cause = s; }).is_ok());
+  sim_.schedule_at(from_seconds(3), [this] { net_.fail_link("a", "b", from_seconds(5)); });
+  sim_.run();
+
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(abort_cause.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(net_.aborted_transfers(), 1u);
+  EXPECT_EQ(net_.active_on_link("a", "b"), 0u);
+}
+
+TEST_F(NetworkTest, FailedLinkRefusesNewTransfersUntilWindowCloses) {
+  net_.fail_link("a", "b", from_seconds(10));
+  EXPECT_TRUE(net_.link_failed("a", "b"));
+  EXPECT_FALSE(net_.link_failed("b", "a"));  // directed: reverse unaffected
+
+  auto refused = net_.start_transfer("a", "b", 1'000, nullptr);
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(net_.start_transfer("b", "a", 1'000, nullptr).is_ok());
+
+  // After the window, the link heals and transfers flow again.
+  bool done = false;
+  sim_.schedule_at(from_seconds(11), [&] {
+    EXPECT_FALSE(net_.link_failed("a", "b"));
+    ASSERT_TRUE(net_.start_transfer("a", "b", 100'000'000, [&] { done = true; }).is_ok());
+  });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(NetworkTest, LinkFailureOnlyAbortsTheFailedLink) {
+  bool ab_aborted = false, ac_done = false;
+  ASSERT_TRUE(net_.start_transfer("a", "b", 1'000'000'000, nullptr,
+                                  [&](const Status&) { ab_aborted = true; }).is_ok());
+  ASSERT_TRUE(net_.start_transfer("a", "c", 1'000'000'000,
+                                  [&] { ac_done = true; }).is_ok());
+  sim_.schedule_at(from_seconds(1), [this] { net_.fail_link("a", "b", from_seconds(2)); });
+  sim_.run();
+  EXPECT_TRUE(ab_aborted);
+  EXPECT_TRUE(ac_done);
+}
+
 }  // namespace
 }  // namespace gae::sim
