@@ -13,7 +13,7 @@ ClarensHost::ClarensHost(std::string name, const Clock& clock, HostOptions optio
       options_(options),
       dispatcher_(std::make_shared<rpc::Dispatcher>()),
       auth_(clock, options.auth),
-      registry_(name_) {
+      registry_(name_, &clock, options.registry) {
   register_system_methods();
 
   // Call accounting runs first so every dispatch is counted, whatever its
@@ -30,7 +30,8 @@ ClarensHost::ClarensHost(std::string name, const Clock& clock, HostOptions optio
     // (Clarens exposed anonymous service lookup; registration stays gated).
     if (method == "system.login" || method == "system.listMethods" ||
         method == "system.echo" || method == "system.lookup" ||
-        method == "system.discover") {
+        method == "system.discover" || method == "registry.lookup" ||
+        method == "registry.discover") {
       return Status::ok();
     }
     if (!options_.require_auth) return Status::ok();

@@ -25,6 +25,8 @@ struct HostOptions {
   /// allow for the calling user.
   bool require_auth = true;
   AuthOptions auth;
+  /// Lease policy for this host's lookup/discovery registry.
+  RegistryOptions registry;
   std::size_t rpc_workers = 8;
 };
 

@@ -1,14 +1,84 @@
 #include "clarens/registry.h"
 
+#include "common/log.h"
+
 namespace gae::clarens {
 
-void ServiceRegistry::register_service(ServiceInfo info) {
-  services_[info.name] = std::move(info);
+Lease ServiceRegistry::register_service(ServiceInfo info, SimDuration ttl) {
+  if (ttl == 0) ttl = options_.default_ttl;
+  const std::string name = info.name;
+
+  auto it = services_.find(name);
+  if (it != services_.end() && !expired(it->second) &&
+      (it->second.info.host != info.host || it->second.info.port != info.port)) {
+    ++replacements_;
+    GAE_LOG_WARN << "registry " << host_name_ << ": service '" << name
+                 << "' re-registered from " << it->second.info.host << ":"
+                 << it->second.info.port << " to " << info.host << ":" << info.port
+                 << " (live entry replaced)";
+  }
+  tombstones_.erase(name);
+
+  Entry entry;
+  entry.info = std::move(info);
+  entry.lease_id = next_lease_id_++;
+  entry.ttl = ttl;
+  entry.expires_at =
+      (ttl > 0 && clock_) ? clock_->now() + ttl : kSimTimeNever;
+  const Lease lease{name, entry.lease_id, entry.expires_at};
+  services_[name] = std::move(entry);
+  return lease;
+}
+
+Status ServiceRegistry::renew(const std::string& name, std::uint64_t lease_id) {
+  auto it = services_.find(name);
+  if (it == services_.end() || expired(it->second)) {
+    return not_found_error("no live lease for service: " + name);
+  }
+  if (it->second.lease_id != lease_id) {
+    return failed_precondition_error("stale lease for service: " + name);
+  }
+  if (it->second.ttl > 0 && clock_) {
+    it->second.expires_at = clock_->now() + it->second.ttl;
+  }
+  return Status::ok();
 }
 
 Status ServiceRegistry::deregister_service(const std::string& name) {
   if (services_.erase(name) == 0) return not_found_error("no such service: " + name);
+  tombstones_.erase(name);
   return Status::ok();
+}
+
+std::size_t ServiceRegistry::sweep() {
+  std::size_t swept = 0;
+  for (auto it = services_.begin(); it != services_.end();) {
+    if (expired(it->second)) {
+      tombstones_[it->first] = it->second.expires_at;
+      ++expirations_;
+      ++swept;
+      GAE_LOG_INFO << "registry " << host_name_ << ": lease expired for '"
+                   << it->first << "'";
+      it = services_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return swept;
+}
+
+Result<SimTime> ServiceRegistry::tombstone(const std::string& name) const {
+  auto it = tombstones_.find(name);
+  if (it == tombstones_.end()) return not_found_error("no tombstone for: " + name);
+  return it->second;
+}
+
+std::size_t ServiceRegistry::live_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, entry] : services_) {
+    if (!expired(entry)) ++n;
+  }
+  return n;
 }
 
 Result<ServiceInfo> ServiceRegistry::lookup(const std::string& name) const {
@@ -20,7 +90,7 @@ Result<ServiceInfo> ServiceRegistry::lookup_visited(
     const std::string& name, std::set<const ServiceRegistry*>& visited) const {
   if (!visited.insert(this).second) return not_found_error("already visited");
   auto it = services_.find(name);
-  if (it != services_.end()) return it->second;
+  if (it != services_.end() && !expired(it->second)) return it->second.info;
   for (const ServiceRegistry* peer : peers_) {
     auto found = peer->lookup_visited(name, visited);
     if (found.is_ok()) return found;
@@ -42,8 +112,10 @@ void ServiceRegistry::discover_visited(const std::string& prefix,
                                        std::set<const ServiceRegistry*>& visited,
                                        std::map<std::string, ServiceInfo>& out) const {
   if (!visited.insert(this).second) return;
-  for (const auto& [name, info] : services_) {
-    if (name.rfind(prefix, 0) == 0 && !out.count(name)) out.emplace(name, info);
+  for (const auto& [name, entry] : services_) {
+    if (name.rfind(prefix, 0) == 0 && !expired(entry) && !out.count(name)) {
+      out.emplace(name, entry.info);
+    }
   }
   for (const ServiceRegistry* peer : peers_) {
     peer->discover_visited(prefix, visited, out);

@@ -5,6 +5,13 @@
 // Each host keeps a local registry; lookups that miss locally are forwarded
 // to peer registries breadth-first (with a visited set, so arbitrary peer
 // graphs terminate).
+//
+// Entries are leased: register_service() grants a TTL lease that heartbeats
+// (renew) keep alive. An entry whose lease lapses is excluded from lookup()
+// and discover() immediately and tombstoned by sweep(), so peers stop
+// routing to dead services within one TTL without any manual deregistration
+// — the liveness-aware discovery adaptive steering needs. A registry built
+// without a clock keeps the historical semantics: leases never expire.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "common/time_types.h"
 
@@ -27,29 +35,84 @@ struct ServiceInfo {
   SimTime registered_at = 0;
 };
 
+struct RegistryOptions {
+  /// Lease granted to registrations that do not name their own TTL.
+  /// 0 = immortal entries (the pre-lease behaviour).
+  SimDuration default_ttl = 0;
+};
+
+/// Proof of registration: renewals must present the lease id so a stale
+/// instance cannot keep a replacement's entry alive.
+struct Lease {
+  std::string service;
+  std::uint64_t id = 0;
+  SimTime expires_at = kSimTimeNever;  // kSimTimeNever = immortal
+};
+
 class ServiceRegistry {
  public:
   explicit ServiceRegistry(std::string host_name) : host_name_(std::move(host_name)) {}
+  ServiceRegistry(std::string host_name, const Clock* clock, RegistryOptions options = {})
+      : host_name_(std::move(host_name)), clock_(clock), options_(options) {}
 
   const std::string& host_name() const { return host_name_; }
 
-  /// Registers or refreshes a service entry.
-  void register_service(ServiceInfo info);
+  /// Registers or refreshes a service entry and grants a lease (`ttl` 0 uses
+  /// the registry default; without a clock, leases are immortal). Replacing
+  /// an entry that points at a different host/port is logged and counted —
+  /// it usually means two instances fighting over one name.
+  Lease register_service(ServiceInfo info, SimDuration ttl = 0);
+
+  /// Extends the named lease by its original TTL. NOT_FOUND for unknown or
+  /// expired entries; FAILED_PRECONDITION when `lease_id` is stale (the name
+  /// was re-registered since).
+  Status renew(const std::string& name, std::uint64_t lease_id);
+
   Status deregister_service(const std::string& name);
 
-  /// Local-then-peer lookup; NOT_FOUND when nobody knows the name.
+  /// Local-then-peer lookup; NOT_FOUND when nobody knows the name. Entries
+  /// whose lease has lapsed are invisible here.
   Result<ServiceInfo> lookup(const std::string& name) const;
 
-  /// All services (local and peer-known) whose name starts with `prefix`.
+  /// All live services (local and peer-known) whose name starts with `prefix`.
   std::vector<ServiceInfo> discover(const std::string& prefix) const;
+
+  /// Moves lapsed entries to the tombstone set; returns how many expired.
+  /// lookup/discover already skip lapsed entries, so sweeping is about
+  /// reclaiming memory and making expirations observable.
+  std::size_t sweep();
+
+  /// Expiry instant of a tombstoned (lease-lapsed, swept) service;
+  /// NOT_FOUND when the name is live or never registered.
+  Result<SimTime> tombstone(const std::string& name) const;
 
   /// Adds a peer registry for P2P lookups (one direction; call on both sides
   /// for a symmetric mesh).
   void add_peer(const ServiceRegistry* peer);
 
+  /// Raw local entry count (including not-yet-swept lapsed entries).
   std::size_t local_count() const { return services_.size(); }
+  /// Local entries whose lease is still live.
+  std::size_t live_count() const;
+
+  /// Registrations that replaced an entry pointing at a different host/port.
+  std::uint64_t replacements() const { return replacements_; }
+  /// Entries tombstoned by sweep() over the registry's lifetime.
+  std::uint64_t expirations() const { return expirations_; }
 
  private:
+  struct Entry {
+    ServiceInfo info;
+    std::uint64_t lease_id = 0;
+    SimDuration ttl = 0;                 // 0 = immortal
+    SimTime expires_at = kSimTimeNever;  // kSimTimeNever = immortal
+  };
+
+  bool expired(const Entry& entry) const {
+    return entry.expires_at != kSimTimeNever && clock_ &&
+           clock_->now() >= entry.expires_at;
+  }
+
   Result<ServiceInfo> lookup_visited(const std::string& name,
                                      std::set<const ServiceRegistry*>& visited) const;
   void discover_visited(const std::string& prefix,
@@ -57,8 +120,14 @@ class ServiceRegistry {
                         std::map<std::string, ServiceInfo>& out) const;
 
   std::string host_name_;
-  std::map<std::string, ServiceInfo> services_;
+  const Clock* clock_ = nullptr;
+  RegistryOptions options_;
+  std::map<std::string, Entry> services_;
+  std::map<std::string, SimTime> tombstones_;  // name -> expiry instant
   std::vector<const ServiceRegistry*> peers_;
+  std::uint64_t next_lease_id_ = 1;
+  std::uint64_t replacements_ = 0;
+  std::uint64_t expirations_ = 0;
 };
 
 }  // namespace gae::clarens

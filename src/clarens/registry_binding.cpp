@@ -1,0 +1,102 @@
+#include "clarens/registry_binding.h"
+
+namespace gae::clarens {
+
+using rpc::Array;
+using rpc::CallContext;
+using rpc::Struct;
+using rpc::Value;
+
+Value service_info_to_value(const ServiceInfo& info) {
+  Struct out;
+  out["name"] = Value(info.name);
+  out["host"] = Value(info.host);
+  out["port"] = Value(static_cast<std::int64_t>(info.port));
+  out["protocol"] = Value(info.protocol);
+  out["registered_at_s"] = Value(to_seconds(info.registered_at));
+  Struct metadata;
+  for (const auto& [k, v] : info.metadata) metadata[k] = Value(v);
+  out["metadata"] = Value(std::move(metadata));
+  return Value(std::move(out));
+}
+
+void register_registry_methods(ClarensHost& host) {
+  auto& d = host.dispatcher();
+  ServiceRegistry* registry = &host.registry();
+
+  // registry.register(name, host, port[, protocol[, ttl_ms]]) -> lease struct
+  d.register_method(
+      "registry.register",
+      [registry](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() < 3 || !params[0].is_string() || !params[1].is_string() ||
+            !params[2].is_number()) {
+          return invalid_argument_error(
+              "registry.register(name, host, port[, protocol[, ttl_ms]])");
+        }
+        ServiceInfo info;
+        info.name = params[0].as_string();
+        info.host = params[1].as_string();
+        info.port = static_cast<std::uint16_t>(params[2].as_int());
+        if (params.size() > 3) info.protocol = params[3].as_string();
+        SimDuration ttl = 0;
+        if (params.size() > 4) ttl = from_millis(params[4].as_double());
+        const Lease lease = registry->register_service(std::move(info), ttl);
+        Struct out;
+        out["lease_id"] = Value(static_cast<std::int64_t>(lease.id));
+        out["expires_at_s"] = Value(lease.expires_at == kSimTimeNever
+                                        ? -1.0
+                                        : to_seconds(lease.expires_at));
+        return Value(std::move(out));
+      });
+
+  // registry.renew(name, lease_id) -> true (the heartbeat path)
+  d.register_method(
+      "registry.renew",
+      [registry](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 2 || !params[0].is_string() || !params[1].is_number()) {
+          return invalid_argument_error("registry.renew(name, lease_id)");
+        }
+        const Status s = registry->renew(params[0].as_string(),
+                                         static_cast<std::uint64_t>(params[1].as_int()));
+        if (!s.is_ok()) return s;
+        return Value(true);
+      });
+
+  // registry.deregister(name) -> true
+  d.register_method(
+      "registry.deregister",
+      [registry](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 1 || !params[0].is_string()) {
+          return invalid_argument_error("registry.deregister(name)");
+        }
+        const Status s = registry->deregister_service(params[0].as_string());
+        if (!s.is_ok()) return s;
+        return Value(true);
+      });
+
+  // registry.lookup(name) -> entry struct (live entries only)
+  d.register_method(
+      "registry.lookup",
+      [registry](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 1 || !params[0].is_string()) {
+          return invalid_argument_error("registry.lookup(name)");
+        }
+        auto info = registry->lookup(params[0].as_string());
+        if (!info.is_ok()) return info.status();
+        return service_info_to_value(info.value());
+      });
+
+  // registry.discover([prefix]) -> [entry struct, ...]
+  d.register_method(
+      "registry.discover",
+      [registry](const Array& params, const CallContext&) -> Result<Value> {
+        const std::string prefix = params.empty() ? "" : params[0].as_string();
+        Array out;
+        for (const auto& info : registry->discover(prefix)) {
+          out.push_back(service_info_to_value(info));
+        }
+        return Value(std::move(out));
+      });
+}
+
+}  // namespace gae::clarens

@@ -1,0 +1,19 @@
+// Wire face of the lookup/discovery registry: registry.register / renew /
+// deregister / lookup / discover, so remote services maintain their leases
+// over the same RPC plane as everything else (heartbeats are just renew
+// calls). lookup/discover are anonymous like system.lookup; the mutating
+// methods go through the host's normal auth/ACL gate.
+#pragma once
+
+#include "clarens/host.h"
+
+namespace gae::clarens {
+
+/// Serialises a registry entry as an RPC struct.
+rpc::Value service_info_to_value(const ServiceInfo& info);
+
+/// Registers the registry.* methods on the host (they operate on
+/// host.registry()). The host must outlive its dispatcher, as usual.
+void register_registry_methods(ClarensHost& host);
+
+}  // namespace gae::clarens

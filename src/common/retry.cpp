@@ -56,7 +56,7 @@ bool CircuitBreaker::allow() {
         ++rejections_;
         return false;
       }
-      state_ = State::kHalfOpen;
+      transition(State::kHalfOpen, now);
       half_open_in_flight_ = 0;
       half_open_successes_ = 0;
       [[fallthrough]];
@@ -77,7 +77,7 @@ void CircuitBreaker::record_success() {
     ++half_open_successes_;
     if (half_open_successes_ >= options_.half_open_probes) {
       // Recovered: forget the failure history that tripped the breaker.
-      state_ = State::kClosed;
+      transition(State::kClosed, now);
       window_.clear();
       window_failures_ = 0;
     }
@@ -125,11 +125,27 @@ void CircuitBreaker::drop_stale(SimTime now) {
 }
 
 void CircuitBreaker::trip(SimTime now) {
-  state_ = State::kOpen;
+  transition(State::kOpen, now);
   opened_at_ = now;
   ++opens_;
   window_.clear();
   window_failures_ = 0;
+}
+
+void CircuitBreaker::transition(State to, SimTime now) {
+  const State from = state_;
+  state_ = to;
+  if (from != to && on_transition_) on_transition_(from, to, now);
+}
+
+CircuitBreaker::Snapshot CircuitBreaker::snapshot() const {
+  Snapshot s;
+  s.state = state_;
+  s.opens = opens_;
+  s.rejections = rejections_;
+  s.window_samples = window_.size();
+  s.failure_rate = failure_rate();
+  return s;
 }
 
 const char* circuit_state_name(CircuitBreaker::State state) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 
 #include "common/clock.h"
@@ -97,7 +98,27 @@ class CircuitBreaker {
   /// Failure rate over the current window (0 when empty).
   double failure_rate() const;
 
+  /// Point-in-time counters for monitoring exports.
+  struct Snapshot {
+    State state = State::kClosed;
+    std::uint64_t opens = 0;
+    std::uint64_t rejections = 0;
+    std::size_t window_samples = 0;
+    double failure_rate = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  /// Invoked on every state change (trip, half-open probe, close), so
+  /// callers can publish breaker health to the monitoring layer. The
+  /// listener runs inside allow()/record_* — keep it cheap and reentrancy-free.
+  using TransitionListener = std::function<void(State from, State to, SimTime at)>;
+  void set_transition_listener(TransitionListener listener) {
+    on_transition_ = std::move(listener);
+  }
+
  private:
+  void transition(State to, SimTime now);
+
   struct Outcome {
     SimTime time;
     bool ok;
@@ -116,6 +137,7 @@ class CircuitBreaker {
   int half_open_successes_ = 0;
   std::uint64_t opens_ = 0;
   std::uint64_t rejections_ = 0;
+  TransitionListener on_transition_;
 };
 
 const char* circuit_state_name(CircuitBreaker::State state);

@@ -1,0 +1,182 @@
+#include "common/wal.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace gae {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+// Frame layout: [u32 payload length][u32 crc of type+payload][u8 type][payload],
+// all integers little-endian so logs are portable across hosts.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 1;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::string& in, std::size_t at) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[at])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + 1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + 2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(in[at + 3])) << 24;
+}
+
+// The checksum covers type + payload so a flipped type byte also fails CRC.
+std::uint32_t frame_crc(WalRecord::Type type, const std::string& payload) {
+  std::string buf;
+  buf.reserve(payload.size() + 1);
+  buf.push_back(static_cast<char>(type));
+  buf += payload;
+  return crc32(buf);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status MemoryWalStorage::append(const std::string& bytes) {
+  bytes_ += bytes;
+  return Status::ok();
+}
+
+Result<std::string> MemoryWalStorage::read_all() const { return bytes_; }
+
+Status MemoryWalStorage::replace(const std::string& bytes) {
+  bytes_ = bytes;
+  return Status::ok();
+}
+
+Status FileWalStorage::append(const std::string& bytes) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (!f) return unavailable_error("cannot open wal for append: " + path_);
+  const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  if (n != bytes.size()) return internal_error("short wal write: " + path_);
+  return Status::ok();
+}
+
+Result<std::string> FileWalStorage::read_all() const {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (!f) return std::string();  // no log yet: an empty history, not an error
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+Status FileWalStorage::replace(const std::string& bytes) {
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return unavailable_error("cannot open wal tmp: " + tmp);
+  const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  if (n != bytes.size()) return internal_error("short wal tmp write: " + tmp);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return internal_error("wal rename failed: " + tmp + " -> " + path_);
+  }
+  return Status::ok();
+}
+
+std::size_t WalReadResult::snapshot_index() const {
+  for (std::size_t i = records.size(); i-- > 0;) {
+    if (records[i].type == WalRecord::Type::kSnapshot) return i;
+  }
+  return npos;
+}
+
+std::size_t WalReadResult::replay_start() const {
+  const std::size_t snap = snapshot_index();
+  return snap == npos ? 0 : snap;
+}
+
+std::string Wal::encode_frame(WalRecord::Type type, const std::string& payload) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, frame_crc(type, payload));
+  frame.push_back(static_cast<char>(type));
+  frame += payload;
+  return frame;
+}
+
+WalReadResult Wal::decode(const std::string& bytes) {
+  WalReadResult result;
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    if (bytes.size() - at < kHeaderBytes) {
+      result.torn_tail = true;
+      break;
+    }
+    const std::uint32_t len = get_u32(bytes, at);
+    const std::uint32_t crc = get_u32(bytes, at + 4);
+    if (bytes.size() - at - kHeaderBytes < len) {
+      result.torn_tail = true;
+      break;
+    }
+    // Type byte and payload are contiguous on the wire; checksum both.
+    if (crc32(bytes.data() + at + 8, len + 1) != crc) {
+      result.corrupt = true;
+      break;
+    }
+    const auto type_byte = static_cast<unsigned char>(bytes[at + 8]);
+    if (type_byte > static_cast<unsigned char>(WalRecord::Type::kSnapshot)) {
+      result.corrupt = true;  // unknown type: written by a future version
+      break;
+    }
+    WalRecord rec;
+    rec.type = static_cast<WalRecord::Type>(type_byte);
+    rec.payload = bytes.substr(at + kHeaderBytes, len);
+    at += kHeaderBytes + len;
+    result.valid_bytes = at;
+    result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+Status Wal::append(const std::string& payload) {
+  if (!storage_) return failed_precondition_error("wal has no storage");
+  const Status s = storage_->append(encode_frame(WalRecord::Type::kRecord, payload));
+  if (s.is_ok()) ++appends_;
+  return s;
+}
+
+Status Wal::write_snapshot(const std::string& payload) {
+  if (!storage_) return failed_precondition_error("wal has no storage");
+  const Status s = storage_->replace(encode_frame(WalRecord::Type::kSnapshot, payload));
+  if (s.is_ok()) ++snapshots_;
+  return s;
+}
+
+Result<WalReadResult> Wal::read() const {
+  if (!storage_) return failed_precondition_error("wal has no storage");
+  auto bytes = storage_->read_all();
+  if (!bytes.is_ok()) return bytes.status();
+  return decode(bytes.value());
+}
+
+}  // namespace gae

@@ -1,0 +1,127 @@
+// Reusable write-ahead log: the crash-consistency primitive behind the
+// Backup & Recovery component (paper §4) generalised for any service state.
+//
+// A Wal frames opaque payloads as length + CRC32 records over a pluggable
+// byte store (memory for tests/simulation, a file for a real deployment —
+// the same split as steering's JournalSink). Reads are torn-tail tolerant:
+// an incomplete final frame (the normal crash artifact) is dropped silently,
+// while a CRC mismatch mid-log stops replay at the corruption point and
+// keeps the valid prefix. write_snapshot() atomically replaces the log with
+// one snapshot record — periodic snapshot + log truncation in one step —
+// and replay folds from the last snapshot forward.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gae {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the framing checksum.
+std::uint32_t crc32(const void* data, std::size_t size);
+inline std::uint32_t crc32(const std::string& s) { return crc32(s.data(), s.size()); }
+
+/// Byte-level storage a Wal frames records into. Implementations must make
+/// append() durable enough for their deployment and replace() atomic (a
+/// crash during replace leaves either the old or the new contents).
+class WalStorage {
+ public:
+  virtual ~WalStorage() = default;
+
+  virtual Status append(const std::string& bytes) = 0;
+  virtual Result<std::string> read_all() const = 0;
+  /// Atomically replaces the whole log (snapshot + truncation).
+  virtual Status replace(const std::string& bytes) = 0;
+};
+
+/// In-memory storage for tests and simulation runs.
+class MemoryWalStorage final : public WalStorage {
+ public:
+  Status append(const std::string& bytes) override;
+  Result<std::string> read_all() const override;
+  Status replace(const std::string& bytes) override;
+
+  const std::string& bytes() const { return bytes_; }
+  std::string& mutable_bytes() { return bytes_; }  // tests corrupt this
+
+ private:
+  std::string bytes_;
+};
+
+/// File-backed storage; appends are flushed so a crash loses at most the
+/// record being written, and replace() goes through rename() for atomicity.
+/// read_all() streams through a fixed buffer, so records larger than the
+/// buffer still round-trip.
+class FileWalStorage final : public WalStorage {
+ public:
+  explicit FileWalStorage(std::string path) : path_(std::move(path)) {}
+
+  Status append(const std::string& bytes) override;
+  Result<std::string> read_all() const override;
+  Status replace(const std::string& bytes) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// One decoded frame.
+struct WalRecord {
+  enum class Type : std::uint8_t { kRecord = 0, kSnapshot = 1 };
+  Type type = Type::kRecord;
+  std::string payload;
+};
+
+/// Result of decoding a log: the valid prefix plus how the tail ended.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Incomplete final frame dropped (normal after a crash mid-append).
+  bool torn_tail = false;
+  /// CRC mismatch stopped replay early (everything before it is kept).
+  bool corrupt = false;
+  /// Bytes consumed by the valid prefix.
+  std::size_t valid_bytes = 0;
+
+  /// Index of the first record replay should fold from: just after the last
+  /// snapshot, or 0 when the log holds none. The snapshot itself (when
+  /// present) is records[snapshot_index()].
+  std::size_t replay_start() const;
+  /// Index of the last snapshot record, or npos when there is none.
+  std::size_t snapshot_index() const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Append-only log of framed records over a WalStorage.
+class Wal {
+ public:
+  explicit Wal(WalStorage* storage) : storage_(storage) {}
+
+  /// Appends one framed record. INTERNAL/UNAVAILABLE on storage failure.
+  Status append(const std::string& payload);
+
+  /// Replaces the log with a single snapshot record (truncates history).
+  Status write_snapshot(const std::string& payload);
+
+  /// Decodes the whole log, torn-tail tolerant (see WalReadResult).
+  Result<WalReadResult> read() const;
+
+  /// Frames a record the way append() does (exposed for tests).
+  static std::string encode_frame(WalRecord::Type type, const std::string& payload);
+  /// Decodes a byte string of frames (pure; read() uses this).
+  static WalReadResult decode(const std::string& bytes);
+
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t snapshots() const { return snapshots_; }
+
+ private:
+  WalStorage* storage_;
+  std::uint64_t appends_ = 0;
+  std::uint64_t snapshots_ = 0;
+};
+
+}  // namespace gae

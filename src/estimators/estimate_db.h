@@ -1,17 +1,28 @@
 // The "separate database" of §6.2: runtime estimates recorded at submission
 // time, consulted later by the queue-time estimator to compute the remaining
 // runtime of queued/running tasks.
+//
+// With a Wal attached every put/erase is journaled, save_snapshot()
+// compacts the log, and recover() rebuilds the exact pre-crash map on a
+// restarted estimator service.
 #pragma once
 
 #include <map>
 #include <string>
 
 #include "common/status.h"
+#include "common/wal.h"
 
 namespace gae::estimators {
 
 class EstimateDatabase {
  public:
+  EstimateDatabase() = default;
+  explicit EstimateDatabase(Wal* wal) : wal_(wal) {}
+
+  /// Journals mutations to `wal` from now on (null detaches).
+  void attach_wal(Wal* wal) { wal_ = wal; }
+
   /// Stores (or overwrites) the submit-time runtime estimate for a task.
   void put(const std::string& task_id, double estimated_runtime_seconds);
 
@@ -19,10 +30,20 @@ class EstimateDatabase {
   Result<double> get(const std::string& task_id) const;
 
   bool has(const std::string& task_id) const { return estimates_.count(task_id) != 0; }
-  void erase(const std::string& task_id) { estimates_.erase(task_id); }
+  void erase(const std::string& task_id);
   std::size_t size() const { return estimates_.size(); }
 
+  /// Compacts the WAL to one snapshot of the current map.
+  Status save_snapshot();
+  /// Rebuilds the map from the WAL (last snapshot + tail); idempotent,
+  /// replaces in-memory state, tolerates a torn final record.
+  Status recover();
+  /// Canonical one-line-per-entry serialisation (snapshot payload; tests
+  /// byte-compare recovered state through it).
+  std::string export_state() const;
+
  private:
+  Wal* wal_ = nullptr;
   std::map<std::string, double> estimates_;
 };
 

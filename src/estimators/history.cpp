@@ -1,16 +1,111 @@
 #include "estimators/history.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/kvcodec.h"
+#include "common/log.h"
+
 namespace gae::estimators {
 
+namespace {
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+}  // namespace
+
+std::string encode_history_entry(const HistoryEntry& entry) {
+  std::map<std::string, std::string> f;
+  f["rt"] = fmt_double(entry.runtime_seconds);
+  f["at"] = std::to_string(entry.recorded_at);
+  f["ok"] = entry.successful ? "1" : "0";
+  for (const auto& [k, v] : entry.attributes) f["a." + k] = v;
+  return kv::encode(f);
+}
+
+Result<HistoryEntry> decode_history_entry(const std::string& line) {
+  auto fields = kv::decode(line);
+  if (!fields.is_ok()) return fields.status();
+  HistoryEntry entry;
+  for (const auto& [key, value] : fields.value()) {
+    if (key == "rt") {
+      entry.runtime_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (key == "at") {
+      entry.recorded_at = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (key == "ok") {
+      entry.successful = value == "1";
+    } else if (key.rfind("a.", 0) == 0) {
+      entry.attributes[key.substr(2)] = value;
+    } else {
+      return invalid_argument_error("unknown history field: " + key);
+    }
+  }
+  return entry;
+}
+
 void TaskHistoryStore::add(HistoryEntry entry) {
+  if (wal_) {
+    const Status s = wal_->append(encode_history_entry(entry));
+    if (!s.is_ok()) GAE_LOG_WARN << "history wal append failed: " << s.message();
+  }
   entries_.push_back(std::move(entry));
   if (max_entries_ > 0 && entries_.size() > max_entries_) {
     entries_.erase(entries_.begin(),
                    entries_.begin() + static_cast<std::ptrdiff_t>(entries_.size() - max_entries_));
   }
+}
+
+std::string TaskHistoryStore::export_state() const {
+  std::string out;
+  for (const auto& entry : entries_) {
+    out += encode_history_entry(entry);
+    out += '\n';
+  }
+  return out;
+}
+
+Status TaskHistoryStore::save_snapshot() {
+  if (!wal_) return failed_precondition_error("history store has no wal");
+  return wal_->write_snapshot(export_state());
+}
+
+Status TaskHistoryStore::recover() {
+  if (!wal_) return failed_precondition_error("history store has no wal");
+  auto read = wal_->read();
+  if (!read.is_ok()) return read.status();
+  const WalReadResult& log = read.value();
+
+  // Replay into a detached store so a mid-replay failure leaves this one
+  // untouched, then adopt the result (add() applies max_entries trimming).
+  TaskHistoryStore recovered(max_entries_);
+  auto apply = [&recovered](const std::string& line) -> Status {
+    auto entry = decode_history_entry(line);
+    if (!entry.is_ok()) return entry.status();
+    recovered.add(std::move(entry).value());
+    return Status::ok();
+  };
+
+  std::size_t at = log.replay_start();
+  if (at < log.records.size() && log.records[at].type == WalRecord::Type::kSnapshot) {
+    std::istringstream lines(log.records[at].payload);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      const Status s = apply(line);
+      if (!s.is_ok()) return s;
+    }
+    ++at;
+  }
+  for (; at < log.records.size(); ++at) {
+    const Status s = apply(log.records[at].payload);
+    if (!s.is_ok()) return s;
+  }
+  entries_ = std::move(recovered.entries_);
+  return Status::ok();
 }
 
 namespace {

@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "common/time_types.h"
+#include "common/wal.h"
 
 namespace gae::estimators {
 
@@ -29,6 +30,10 @@ class TaskHistoryStore {
   /// `max_entries` bounds memory; the oldest entries fall off. 0 = unbounded.
   explicit TaskHistoryStore(std::size_t max_entries = 0) : max_entries_(max_entries) {}
 
+  /// Journals every completion sample to `wal` from now on (null detaches),
+  /// making the decentralised site history crash-consistent.
+  void attach_wal(Wal* wal) { wal_ = wal; }
+
   void add(HistoryEntry entry);
 
   std::size_t size() const { return entries_.size(); }
@@ -37,10 +42,25 @@ class TaskHistoryStore {
 
   void clear() { entries_.clear(); }
 
+  /// Compacts the WAL to one snapshot of the current entries.
+  Status save_snapshot();
+  /// Rebuilds the store from the WAL (last snapshot + tail). Replays
+  /// through add(), so max_entries trimming applies; idempotent; tolerates
+  /// a torn final record.
+  Status recover();
+  /// Canonical one-line-per-entry serialisation (snapshot payload; tests
+  /// byte-compare recovered state through it).
+  std::string export_state() const;
+
  private:
   std::size_t max_entries_;
+  Wal* wal_ = nullptr;
   std::vector<HistoryEntry> entries_;  // oldest first
 };
+
+/// One-line codec for a history entry (the WAL payload format).
+std::string encode_history_entry(const HistoryEntry& entry);
+Result<HistoryEntry> decode_history_entry(const std::string& line);
 
 /// Persists a history store as CSV (attributes flattened as k=v;k=v). The
 /// decentralised site histories survive service restarts this way.

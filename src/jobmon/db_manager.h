@@ -1,6 +1,11 @@
 // DBManager (paper §5.4): each Job Monitoring Service instance owns a
 // database repository of job monitoring records. The DBManager controls all
 // access to it and publishes job monitoring updates to MonALISA.
+//
+// With a Wal attached the repository is crash-consistent, BOSS-style: every
+// update is appended to the log before it lands in memory, save_snapshot()
+// compacts the log, and recover() rebuilds the exact pre-crash view
+// (snapshot fold + tail replay) on a restarted instance.
 #pragma once
 
 #include <map>
@@ -8,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/wal.h"
 #include "exec/job.h"
 #include "monalisa/repository.h"
 
@@ -20,12 +26,20 @@ struct JobRecord {
   SimTime updated_at = 0;
 };
 
+/// Canonical one-line serialisation of a record (the WAL payload; tests
+/// byte-compare recovered state through it).
+std::string encode_job_record(const std::string& task_id, const JobRecord& record);
+Result<std::pair<std::string, JobRecord>> decode_job_record(const std::string& line);
+
 class DBManager {
  public:
-  /// `monitoring` may be null (no MonALISA publishing).
-  explicit DBManager(monalisa::Repository* monitoring) : monitoring_(monitoring) {}
+  /// `monitoring` may be null (no MonALISA publishing); `wal` may be null
+  /// (in-memory only, the historical behaviour).
+  explicit DBManager(monalisa::Repository* monitoring, Wal* wal = nullptr)
+      : monitoring_(monitoring), wal_(wal) {}
 
-  /// Inserts or refreshes a record and publishes the state to MonALISA.
+  /// Inserts or refreshes a record, journals the update, and publishes the
+  /// state to MonALISA.
   void update(const std::string& task_id, const exec::TaskInfo& info,
               const std::string& site, SimTime now);
 
@@ -35,8 +49,24 @@ class DBManager {
   std::vector<JobRecord> all() const;
   std::size_t size() const { return records_.size(); }
 
+  /// Compacts the WAL to one snapshot of the current repository.
+  Status save_snapshot();
+
+  /// Rebuilds the repository from the WAL (last snapshot + record tail).
+  /// Replaces in-memory state entirely, publishes nothing, and is
+  /// idempotent: recover(); recover() leaves the same repository. A torn
+  /// final record is dropped silently (crash artifact); OK with an empty
+  /// or missing log (empty repository).
+  Status recover();
+
+  /// Canonical serialisation of the whole repository, one record per line
+  /// in task-id order — what save_snapshot writes, and what tests
+  /// byte-compare across a crash.
+  std::string export_state() const;
+
  private:
   monalisa::Repository* monitoring_;
+  Wal* wal_;
   std::map<std::string, JobRecord> records_;
 };
 

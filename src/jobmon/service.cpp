@@ -7,10 +7,10 @@ namespace gae::jobmon {
 
 JobMonitoringService::JobMonitoringService(
     const Clock& clock, monalisa::Repository* monitoring,
-    std::shared_ptr<const estimators::EstimateDatabase> estimates)
+    std::shared_ptr<const estimators::EstimateDatabase> estimates, Wal* wal)
     : clock_(clock), estimates_(std::move(estimates)) {
   if (!estimates_) estimates_ = std::make_shared<estimators::EstimateDatabase>();
-  db_ = std::make_unique<DBManager>(monitoring);
+  db_ = std::make_unique<DBManager>(monitoring, wal);
   collector_ = std::make_unique<JobInformationCollector>(
       [this](const std::string& task_id, const exec::TaskInfo& info,
              const std::string& site, SimTime now) {

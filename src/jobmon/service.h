@@ -53,8 +53,11 @@ class JobMonitoringService {
  public:
   /// `monitoring` (MonALISA) and `estimates` may be shared with other
   /// services; `estimates` supplies the §5 "estimated run time" field.
+  /// `wal` (optional) makes the DBManager's repository crash-consistent;
+  /// pass the same log to a restarted instance and call recover().
   JobMonitoringService(const Clock& clock, monalisa::Repository* monitoring,
-                       std::shared_ptr<const estimators::EstimateDatabase> estimates);
+                       std::shared_ptr<const estimators::EstimateDatabase> estimates,
+                       Wal* wal = nullptr);
 
   /// Attaches a site's execution service for live collection.
   void attach_site(const std::string& site, exec::ExecutionService* service);
@@ -96,6 +99,9 @@ class JobMonitoringService {
   std::uint64_t last_event_seq() const { return next_seq_ - 1; }
 
   const DBManager& db() const { return *db_; }
+  /// Mutable repository access for snapshot/recover orchestration (the
+  /// Supervisor drives these around a restart).
+  DBManager& mutable_db() { return *db_; }
   JobInformationCollector& collector() { return *collector_; }
 
  private:

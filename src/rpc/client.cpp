@@ -46,8 +46,70 @@ RpcClient::RpcClient(std::vector<Endpoint> endpoints, Protocol protocol,
   }
   breakers_.reserve(endpoints_.size());
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-    breakers_.push_back(std::make_unique<CircuitBreaker>(*clock_ptr_, options_.breaker));
+    breakers_.push_back(make_breaker(i));
   }
+}
+
+void RpcClient::arm_breaker_listener(CircuitBreaker& breaker, std::size_t index) {
+  breaker.set_transition_listener(
+      [this, index](CircuitBreaker::State from, CircuitBreaker::State to, SimTime) {
+        // A breaker opening means an endpoint went dark: refresh the
+        // failover list from discovery before the next connection attempt.
+        if (to == CircuitBreaker::State::kOpen) needs_resolve_ = true;
+        if (options_.on_breaker_transition && index < endpoints_.size()) {
+          options_.on_breaker_transition(endpoints_[index], from, to);
+        }
+      });
+}
+
+std::unique_ptr<CircuitBreaker> RpcClient::make_breaker(std::size_t index) {
+  auto breaker = std::make_unique<CircuitBreaker>(*clock_ptr_, options_.breaker);
+  arm_breaker_listener(*breaker, index);
+  return breaker;
+}
+
+void RpcClient::set_endpoints(std::vector<Endpoint> endpoints) {
+  if (endpoints.empty()) return;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers;
+  breakers.reserve(endpoints.size());
+  std::size_t reconnect_index = endpoints.size();
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    std::unique_ptr<CircuitBreaker> kept;
+    for (std::size_t j = 0; j < endpoints_.size(); ++j) {
+      if (breakers_[j] && endpoints_[j].host == endpoints[i].host &&
+          endpoints_[j].port == endpoints[i].port) {
+        kept = std::move(breakers_[j]);
+        if (connected_ && connected_endpoint_ == j) reconnect_index = i;
+        break;
+      }
+    }
+    breakers.push_back(kept ? std::move(kept) : nullptr);
+  }
+  endpoints_ = std::move(endpoints);
+  breakers_ = std::move(breakers);
+  // (Re)arm listeners after endpoints_ is final so kept breakers report
+  // their endpoint's new index.
+  for (std::size_t i = 0; i < breakers_.size(); ++i) {
+    if (!breakers_[i]) {
+      breakers_[i] = make_breaker(i);
+    } else {
+      arm_breaker_listener(*breakers_[i], i);
+    }
+  }
+  if (connected_ && reconnect_index == endpoints_.size()) {
+    disconnect();  // the endpoint we were talking to is gone
+  } else if (connected_) {
+    connected_endpoint_ = reconnect_index;
+  }
+}
+
+void RpcClient::maybe_re_resolve() {
+  if (!needs_resolve_ || !options_.resolve_endpoints) return;
+  needs_resolve_ = false;
+  auto fresh = options_.resolve_endpoints();
+  if (fresh.empty()) return;
+  ++stats_.reresolves;
+  set_endpoints(std::move(fresh));
 }
 
 void RpcClient::disconnect() {
@@ -64,6 +126,7 @@ int RpcClient::remaining_ms(SimTime deadline) const {
 }
 
 Status RpcClient::ensure_connected() {
+  maybe_re_resolve();
   // Prefer the earliest endpoint whose breaker admits traffic; this fails
   // over while the primary is open and fails back (via a half-open probe)
   // once its cooldown elapses.

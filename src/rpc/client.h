@@ -54,6 +54,18 @@ struct ClientOptions {
   const Clock* clock = nullptr;
   /// Backoff sleeper; null = real sleep. Tests inject a recorder.
   std::function<void(int ms)> sleep_ms;
+  /// Re-resolves the failover list (typically from the Clarens registry).
+  /// Invoked lazily on the next call after any endpoint's breaker opens, so
+  /// traffic drains away from dead services toward freshly discovered ones
+  /// without manual reconfiguration. Returning an empty list keeps the
+  /// current endpoints. Breaker state is preserved for endpoints that
+  /// survive the refresh.
+  std::function<std::vector<Endpoint>()> resolve_endpoints;
+  /// Observes every per-endpoint breaker state change (callers publish these
+  /// to MonALISA). Runs inside the call path — keep it cheap.
+  std::function<void(const Endpoint&, CircuitBreaker::State from,
+                     CircuitBreaker::State to)>
+      on_breaker_transition;
 };
 
 /// Counters exposed for monitoring (published to MonALISA by callers).
@@ -68,6 +80,8 @@ struct RpcClientStats {
   std::uint64_t breaker_rejections = 0;
   /// Calls that exhausted all attempts (or were non-retryable).
   std::uint64_t failed_calls = 0;
+  /// Times the endpoint list was refreshed via resolve_endpoints.
+  std::uint64_t reresolves = 0;
 };
 
 class RpcClient {
@@ -100,8 +114,18 @@ class RpcClient {
   /// Breaker state for endpoint `index` (construction order).
   CircuitBreaker::State breaker_state(std::size_t index) const;
   std::size_t endpoint_count() const { return endpoints_.size(); }
+  const Endpoint& endpoint(std::size_t index) const { return endpoints_.at(index); }
+
+  /// Replaces the failover list now (what resolve_endpoints does lazily).
+  /// Endpoints present in both lists keep their breaker state; an empty
+  /// list is ignored.
+  void set_endpoints(std::vector<Endpoint> endpoints);
 
  private:
+  void arm_breaker_listener(CircuitBreaker& breaker, std::size_t index);
+  std::unique_ptr<CircuitBreaker> make_breaker(std::size_t index);
+  /// Runs resolve_endpoints when a breaker opened since the last call.
+  void maybe_re_resolve();
   /// One wire attempt. Sets `wrote_request` once request bytes may have
   /// reached the server (the non-idempotent retry guard keys off this).
   Result<Value> call_attempt(const std::string& method, const Array& params,
@@ -124,6 +148,7 @@ class RpcClient {
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
   std::string session_token_;
   net::TcpStream stream_;
+  bool needs_resolve_ = false;
   bool connected_ = false;
   std::size_t connected_endpoint_ = 0;
   std::int64_t next_id_ = 1;

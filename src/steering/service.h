@@ -170,6 +170,11 @@ class SteeringService {
   /// Runs one Backup & Recovery pass immediately.
   void recovery_tick();
 
+  /// Re-resolves the monitoring dependency after a supervised jobmon
+  /// restart (the old instance is gone; the supervisor hands over the
+  /// recovered one, the way a re-discovery through the registry would).
+  void rebind_jobmon(jobmon::JobMonitoringService* jm) { deps_.jobmon = jm; }
+
  private:
   struct Watch {
     std::string job_id;

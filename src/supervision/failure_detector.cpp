@@ -1,0 +1,87 @@
+#include "supervision/failure_detector.h"
+
+#include "common/log.h"
+
+namespace gae::supervision {
+
+const char* liveness_name(Liveness l) {
+  switch (l) {
+    case Liveness::kAlive: return "alive";
+    case Liveness::kSuspect: return "suspect";
+    case Liveness::kDead: return "dead";
+  }
+  return "?";
+}
+
+namespace {
+double liveness_metric(Liveness l) {
+  switch (l) {
+    case Liveness::kAlive: return 1.0;
+    case Liveness::kSuspect: return 0.5;
+    case Liveness::kDead: return 0.0;
+  }
+  return 0.0;
+}
+}  // namespace
+
+void FailureDetector::watch(const std::string& service) {
+  watched_[service] = WatchState{clock_.now(), Liveness::kAlive};
+}
+
+void FailureDetector::forget(const std::string& service) { watched_.erase(service); }
+
+void FailureDetector::heartbeat(const std::string& service) {
+  auto it = watched_.find(service);
+  if (it == watched_.end()) {
+    watch(service);
+    return;
+  }
+  it->second.last_heartbeat = clock_.now();
+}
+
+int FailureDetector::missed_heartbeats(const std::string& service) const {
+  auto it = watched_.find(service);
+  if (it == watched_.end()) return -1;
+  if (options_.heartbeat_interval <= 0) return 0;
+  const SimDuration silent = clock_.now() - it->second.last_heartbeat;
+  return silent <= 0 ? 0 : static_cast<int>(silent / options_.heartbeat_interval);
+}
+
+Liveness FailureDetector::grade(const WatchState& w) const {
+  if (options_.heartbeat_interval <= 0) return Liveness::kAlive;
+  const SimDuration silent = clock_.now() - w.last_heartbeat;
+  const int missed = silent <= 0 ? 0 : static_cast<int>(silent / options_.heartbeat_interval);
+  if (missed >= options_.dead_after_missed) return Liveness::kDead;
+  if (missed >= options_.suspect_after_missed) return Liveness::kSuspect;
+  return Liveness::kAlive;
+}
+
+Liveness FailureDetector::liveness(const std::string& service) const {
+  auto it = watched_.find(service);
+  if (it == watched_.end()) return Liveness::kDead;
+  return grade(it->second);
+}
+
+std::vector<std::string> FailureDetector::check() {
+  const SimTime now = clock_.now();
+  std::vector<std::string> newly_dead;
+  for (auto& [service, state] : watched_) {
+    const Liveness verdict = grade(state);
+    if (monitoring_) {
+      monitoring_->publish(service, "liveness", now, liveness_metric(verdict));
+    }
+    if (verdict == state.last_grade) continue;
+    GAE_LOG_INFO << "failure detector: " << service << " "
+                 << liveness_name(state.last_grade) << " -> " << liveness_name(verdict);
+    if (monitoring_) {
+      monitoring_->publish_event(
+          {now, service, "liveness", std::string(liveness_name(verdict))});
+    }
+    if (verdict == Liveness::kDead) newly_dead.push_back(service);
+    state.last_grade = verdict;
+    if (on_verdict_) on_verdict_(service, verdict);
+  }
+  return newly_dead;
+}
+
+}  // namespace gae::supervision

@@ -1,0 +1,86 @@
+// Heartbeat-based failure detector (the liveness half of the ensemble
+// supervision layer). Services — or the registry plumbing acting for them —
+// call heartbeat(); check() counts how many intervals each watched service
+// has gone silent and grades it alive / suspect / dead against a
+// configurable suspicion threshold. Verdict transitions are published to the
+// MonALISA repository (numeric liveness series per service plus a text
+// event per transition) so operators watch ensemble health next to site
+// load, and a listener hook feeds the Supervisor restarts.
+//
+// Clock-injected: under the simulator the detector is exact and
+// deterministic; live deployments pass a WallClock.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/time_types.h"
+#include "monalisa/repository.h"
+
+namespace gae::supervision {
+
+enum class Liveness { kAlive, kSuspect, kDead };
+
+const char* liveness_name(Liveness l);
+
+struct FailureDetectorOptions {
+  /// Expected gap between heartbeats.
+  SimDuration heartbeat_interval = from_seconds(5);
+  /// Missed heartbeats before a service is suspected (grace for jitter).
+  int suspect_after_missed = 1;
+  /// Missed heartbeats before a service is declared dead.
+  int dead_after_missed = 3;
+};
+
+class FailureDetector {
+ public:
+  FailureDetector(const Clock& clock, FailureDetectorOptions options = {},
+                  monalisa::Repository* monitoring = nullptr)
+      : clock_(clock), options_(options), monitoring_(monitoring) {}
+
+  /// Starts watching `service`; counts as a heartbeat (freshly started
+  /// services are alive until they actually miss beats).
+  void watch(const std::string& service);
+  void forget(const std::string& service);
+
+  /// Records a heartbeat at the current clock time.
+  void heartbeat(const std::string& service);
+
+  /// Current grade (computed against the clock; UNKNOWN names are dead).
+  Liveness liveness(const std::string& service) const;
+
+  /// Consecutive heartbeats missed as of now.
+  int missed_heartbeats(const std::string& service) const;
+
+  /// Re-grades every watched service, publishes liveness to MonALISA, and
+  /// fires the verdict listener on transitions. Returns the services that
+  /// just became dead (the Supervisor's restart feed).
+  std::vector<std::string> check();
+
+  /// Invoked from check() whenever a service's grade changes.
+  using VerdictListener = std::function<void(const std::string& service, Liveness)>;
+  void set_verdict_listener(VerdictListener listener) {
+    on_verdict_ = std::move(listener);
+  }
+
+  std::size_t watched_count() const { return watched_.size(); }
+
+ private:
+  struct WatchState {
+    SimTime last_heartbeat = 0;
+    Liveness last_grade = Liveness::kAlive;
+  };
+
+  Liveness grade(const WatchState& w) const;
+
+  const Clock& clock_;
+  FailureDetectorOptions options_;
+  monalisa::Repository* monitoring_;
+  std::map<std::string, WatchState> watched_;
+  VerdictListener on_verdict_;
+};
+
+}  // namespace gae::supervision

@@ -1,0 +1,79 @@
+#include "supervision/supervisor.h"
+
+#include "common/log.h"
+
+namespace gae::supervision {
+
+void Supervisor::manage(SupervisedService service) {
+  services_[service.name] = std::move(service);
+}
+
+void Supervisor::attach(FailureDetector& detector) {
+  detector_ = &detector;
+  detector.set_verdict_listener([this](const std::string& service, Liveness verdict) {
+    if (verdict == Liveness::kDead) on_service_dead(service);
+  });
+}
+
+void Supervisor::on_service_dead(const std::string& name) {
+  if (!services_.count(name)) return;  // not ours to restart
+  ++stats_.deaths_seen;
+  if (pending_.count(name)) return;  // restart already scheduled
+  Pending p;
+  p.attempt = 1;
+  p.next_at = clock_.now() + from_millis(options_.restart_backoff.backoff_ms(1));
+  pending_[name] = p;
+  publish_event(name, "restart_scheduled");
+  GAE_LOG_INFO << "supervisor: " << name << " declared dead; restart scheduled";
+}
+
+std::size_t Supervisor::tick() {
+  const SimTime now = clock_.now();
+  std::size_t restarted = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.next_at > now) {
+      ++it;
+      continue;
+    }
+    const std::string& name = it->first;
+    Pending& p = it->second;
+    ++stats_.restart_attempts;
+    const Status s = services_[name].restart();
+    if (s.is_ok()) {
+      ++stats_.restarts_succeeded;
+      ++restarted;
+      publish_event(name, "restarted");
+      GAE_LOG_INFO << "supervisor: restarted " << name << " (attempt " << p.attempt
+                   << ")";
+      if (detector_) detector_->watch(name);  // fresh heartbeat baseline
+      it = pending_.erase(it);
+      continue;
+    }
+    ++stats_.restarts_failed;
+    GAE_LOG_WARN << "supervisor: restart of " << name << " failed (attempt "
+                 << p.attempt << "): " << s.message();
+    if (p.attempt >= options_.restart_backoff.max_attempts) {
+      ++stats_.gave_up;
+      publish_event(name, "gave_up");
+      GAE_LOG_ERROR << "supervisor: giving up on " << name << " after " << p.attempt
+                    << " attempts";
+      it = pending_.erase(it);
+      continue;
+    }
+    ++p.attempt;
+    p.next_at = now + from_millis(options_.restart_backoff.backoff_ms(p.attempt));
+    ++it;
+  }
+  if (monitoring_) {
+    monitoring_->publish("supervisor", "pending_restarts", now,
+                         static_cast<double>(pending_.size()));
+  }
+  return restarted;
+}
+
+void Supervisor::publish_event(const std::string& service, const std::string& what) {
+  if (!monitoring_) return;
+  monitoring_->publish_event({clock_.now(), "supervisor", what, service});
+}
+
+}  // namespace gae::supervision

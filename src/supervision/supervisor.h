@@ -1,0 +1,91 @@
+// Ensemble supervisor: owns restart recipes for the services of a GAE
+// deployment and turns failure-detector death verdicts into supervised
+// restarts with capped exponential backoff (reusing common::RetryPolicy for
+// the schedule). A restart recipe is expected to rebuild the service,
+// replay its durable state (common::Wal recover, steering journal), and
+// re-register it with a fresh lease — after which the failure detector sees
+// heartbeats again and the registry routes traffic back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "monalisa/repository.h"
+#include "supervision/failure_detector.h"
+
+namespace gae::supervision {
+
+struct SupervisorOptions {
+  /// Backoff schedule between restart attempts; max_attempts caps how often
+  /// one death is retried before the supervisor gives up on the service.
+  RetryPolicy restart_backoff{/*max_attempts=*/5, /*initial_backoff_ms=*/1000,
+                              /*backoff_multiplier=*/2.0, /*max_backoff_ms=*/60'000,
+                              /*jitter_fraction=*/0.0, /*jitter_seed=*/1};
+};
+
+/// One service under supervision. `restart` does the whole resurrection:
+/// rebuild, recover durable state, re-register with a fresh lease.
+struct SupervisedService {
+  std::string name;
+  std::function<Status()> restart;
+};
+
+struct SupervisorStats {
+  std::uint64_t deaths_seen = 0;
+  std::uint64_t restart_attempts = 0;
+  std::uint64_t restarts_succeeded = 0;
+  std::uint64_t restarts_failed = 0;
+  std::uint64_t gave_up = 0;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(const Clock& clock, SupervisorOptions options = {},
+                      monalisa::Repository* monitoring = nullptr)
+      : clock_(clock), options_(options), monitoring_(monitoring) {}
+
+  /// Registers a restart recipe (replacing any previous one for the name).
+  void manage(SupervisedService service);
+
+  /// Wires `detector` verdicts into this supervisor: dead services get a
+  /// restart scheduled, and a successful restart re-arms their watch.
+  void attach(FailureDetector& detector);
+
+  /// Schedules a restart for `name` (idempotent while one is pending).
+  void on_service_dead(const std::string& name);
+
+  /// Executes every pending restart whose backoff has elapsed. Returns the
+  /// number of successful restarts this tick. Call from a periodic event
+  /// (simulation) or a timer thread (live).
+  std::size_t tick();
+
+  /// True while `name` has a restart pending (scheduled but not yet done).
+  bool restart_pending(const std::string& name) const {
+    return pending_.count(name) != 0;
+  }
+
+  const SupervisorStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    int attempt = 1;       // next restart attempt number (1-based)
+    SimTime next_at = 0;   // earliest instant the attempt may run
+  };
+
+  void publish_event(const std::string& service, const std::string& what);
+
+  const Clock& clock_;
+  SupervisorOptions options_;
+  monalisa::Repository* monitoring_;
+  FailureDetector* detector_ = nullptr;
+  std::map<std::string, SupervisedService> services_;
+  std::map<std::string, Pending> pending_;
+  SupervisorStats stats_;
+};
+
+}  // namespace gae::supervision
