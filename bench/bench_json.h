@@ -1,0 +1,83 @@
+// Tiny JSON emitter for bench artifacts (BENCH_rpc.json, BENCH_telemetry.json):
+// each scenario reports latency percentiles and throughput so CI can archive
+// and diff runs without parsing google-benchmark's console output.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gae::bench {
+
+struct Scenario {
+  std::string name;
+  std::size_t iterations = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+  double throughput_rps = 0;
+};
+
+inline double percentile_of(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+inline Scenario summarize(std::string name, std::vector<double> latencies_us) {
+  Scenario s;
+  s.name = std::move(name);
+  s.iterations = latencies_us.size();
+  if (latencies_us.empty()) return s;
+  double total = 0;
+  for (const double v : latencies_us) total += v;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  s.p50_us = percentile_of(latencies_us, 50);
+  s.p95_us = percentile_of(latencies_us, 95);
+  s.p99_us = percentile_of(latencies_us, 99);
+  s.mean_us = total / static_cast<double>(latencies_us.size());
+  s.throughput_rps = total > 0 ? 1e6 * static_cast<double>(latencies_us.size()) / total : 0;
+  return s;
+}
+
+/// Writes {"bench": ..., "scenarios": [...]} (plus optional extra raw JSON
+/// members, each a preformatted "\"key\": value" string). Returns false on
+/// I/O failure.
+inline bool write_bench_json(const std::string& path, const std::string& bench_name,
+                             const std::vector<Scenario>& scenarios,
+                             const std::vector<std::string>& extra_members = {}) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scenarios\": [\n", bench_name.c_str());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"iterations\": %zu, \"p50_us\": %.3f, "
+                 "\"p95_us\": %.3f, \"p99_us\": %.3f, \"mean_us\": %.3f, "
+                 "\"throughput_rps\": %.1f}%s\n",
+                 s.name.c_str(), s.iterations, s.p50_us, s.p95_us, s.p99_us, s.mean_us,
+                 s.throughput_rps, i + 1 < scenarios.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]%s\n", extra_members.empty() ? "" : ",");
+  for (std::size_t i = 0; i < extra_members.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", extra_members[i].c_str(),
+                 i + 1 < extra_members.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  return std::fclose(f) == 0;
+}
+
+/// Returns the value of --bench_json=PATH from argv ("" when absent).
+inline std::string bench_json_path(int argc, char** argv) {
+  const std::string prefix = "--bench_json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+}  // namespace gae::bench

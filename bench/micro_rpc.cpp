@@ -5,10 +5,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "rpc/client.h"
 #include "rpc/jsonrpc.h"
@@ -173,6 +175,67 @@ BENCHMARK(BM_FaultyTransport)
     ->Args({20, 0})->Args({20, 1})
     ->Unit(benchmark::kMicrosecond);
 
+/// --bench_json mode: a direct percentile measurement of the loopback round
+/// trip per protocol, written as BENCH_rpc.json for CI artifact upload
+/// (google-benchmark's own JSON lacks percentiles without repetition sweeps).
+int run_bench_json(const std::string& path) {
+  constexpr std::size_t kIters = 3000;
+  std::vector<gae::bench::Scenario> scenarios;
+  for (const Protocol protocol : {Protocol::kXmlRpc, Protocol::kJsonRpc}) {
+    auto dispatcher = std::make_shared<Dispatcher>();
+    dispatcher->register_method(
+        "echo", [](const Array& params, const CallContext&) -> gae::Result<Value> {
+          return params.empty() ? Value() : params.front();
+        });
+    RpcServer server(dispatcher, ServerOptions{0, 2});
+    auto port = server.start();
+    if (!port.is_ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", port.status().message().c_str());
+      return 1;
+    }
+    RpcClient client("127.0.0.1", port.value(), protocol);
+    const Value payload = sample_struct(8);
+    for (int i = 0; i < 200; ++i) {
+      if (!client.call("echo", {payload}).is_ok()) return 1;
+    }
+    std::vector<double> latencies_us;
+    latencies_us.reserve(kIters);
+    for (std::size_t i = 0; i < kIters; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      auto r = client.call("echo", {payload});
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      if (!r.is_ok()) {
+        std::fprintf(stderr, "call failed: %s\n", r.status().message().c_str());
+        return 1;
+      }
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+    server.stop();
+    scenarios.push_back(gae::bench::summarize(
+        protocol == Protocol::kXmlRpc ? "round_trip_xmlrpc" : "round_trip_jsonrpc",
+        std::move(latencies_us)));
+  }
+  for (const auto& s : scenarios) {
+    std::printf("%s: p50 %.1fus p95 %.1fus p99 %.1fus  %.0f req/s\n", s.name.c_str(),
+                s.p50_us, s.p95_us, s.p99_us, s.throughput_rps);
+  }
+  if (!gae::bench::write_bench_json(path, "micro_rpc", scenarios)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = gae::bench::bench_json_path(argc, argv);
+  if (!json_path.empty()) return run_bench_json(json_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,6 +14,7 @@ ClarensHost::ClarensHost(std::string name, const Clock& clock, HostOptions optio
       dispatcher_(std::make_shared<rpc::Dispatcher>()),
       auth_(clock, options.auth),
       registry_(name_, &clock, options.registry) {
+  dispatcher_->set_telemetry(options_.metrics, options_.tracer, name_);
   register_system_methods();
 
   // Call accounting runs first so every dispatch is counted, whatever its
@@ -73,6 +74,7 @@ Result<std::uint16_t> ClarensHost::serve(std::uint16_t port) {
   rpc::ServerOptions opts;
   opts.port = port;
   opts.num_workers = options_.rpc_workers;
+  opts.metrics = options_.metrics;
   server_ = std::make_unique<rpc::RpcServer>(dispatcher_, opts);
   auto bound = server_->start();
   if (!bound.is_ok()) {

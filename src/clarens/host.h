@@ -17,6 +17,8 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "rpc/server.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace gae::clarens {
 
@@ -28,6 +30,12 @@ struct HostOptions {
   /// Lease policy for this host's lookup/discovery registry.
   RegistryOptions registry;
   std::size_t rpc_workers = 8;
+  /// Telemetry sinks for every dispatch through this host (TCP and
+  /// in-process alike): per-method metrics and one "server" span per call,
+  /// stamped with the host name as the span's service. Either may be null;
+  /// both must outlive the host.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::Tracer* tracer = nullptr;
 };
 
 class ClarensHost {

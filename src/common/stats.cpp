@@ -45,24 +45,23 @@ void RunningStats::merge(const RunningStats& other) {
 
 void LinearRegression::add(double x, double y) {
   ++n_;
-  sx_ += x;
-  sy_ += y;
-  sxx_ += x * x;
-  sxy_ += x * y;
-  syy_ += y * y;
+  const double n = static_cast<double>(n_);
+  const double dx = x - mean_x_;
+  const double dy = y - mean_y_;
+  mean_x_ += dx / n;
+  mean_y_ += dy / n;
+  sxx_ += dx * (x - mean_x_);
+  syy_ += dy * (y - mean_y_);
+  sxy_ += dx * (y - mean_y_);
 }
 
 LinearFit LinearRegression::fit() const {
   LinearFit f;
   if (n_ < 2) return f;
-  const double n = static_cast<double>(n_);
-  const double varx = sxx_ - sx_ * sx_ / n;
-  if (varx <= 0) return f;  // all x identical: slope undefined
-  const double cov = sxy_ - sx_ * sy_ / n;
-  f.slope = cov / varx;
-  f.intercept = (sy_ - f.slope * sx_) / n;
-  const double vary = syy_ - sy_ * sy_ / n;
-  f.r_squared = vary > 0 ? (cov * cov) / (varx * vary) : 0.0;
+  if (sxx_ <= 0) return f;  // all x identical: slope undefined
+  f.slope = sxy_ / sxx_;
+  f.intercept = mean_y_ - f.slope * mean_x_;
+  f.r_squared = syy_ > 0 ? (sxy_ * sxy_) / (sxx_ * syy_) : 0.0;
   f.valid = true;
   return f;
 }

@@ -45,7 +45,11 @@ struct LinearFit {
   double predict(double x) const { return intercept + slope * x; }
 };
 
-/// Streaming simple linear regression.
+/// Streaming simple linear regression. Accumulates centred (Welford-style)
+/// moments rather than raw power sums: the textbook sxx - sx*sx/n form
+/// cancels catastrophically when x values are large-magnitude and close
+/// together — exactly the epoch-microsecond timestamps the runtime
+/// estimator regresses on — and yields garbage slopes.
 class LinearRegression {
  public:
   void add(double x, double y);
@@ -54,7 +58,9 @@ class LinearRegression {
 
  private:
   std::size_t n_ = 0;
-  double sx_ = 0, sy_ = 0, sxx_ = 0, sxy_ = 0, syy_ = 0;
+  double mean_x_ = 0, mean_y_ = 0;
+  /// Centred second moments: sum (x-mx)^2, sum (x-mx)(y-my), sum (y-my)^2.
+  double sxx_ = 0, sxy_ = 0, syy_ = 0;
 };
 
 /// Percentile with linear interpolation; `p` in [0,100]. Sorts a copy.

@@ -27,12 +27,22 @@ bool ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::shutdown(bool drain) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_ && workers_.empty()) return;
     stopping_ = true;
-    drain_ = drain;
-    if (!drain) queue_.clear();
+    // A concurrent shutdown(false) must win over shutdown(true): once any
+    // caller asked to abandon the queue, draining it anyway would run tasks
+    // the caller believed cancelled.
+    if (!drain) {
+      drain_ = false;
+      queue_.clear();
+    }
   }
   cv_.notify_all();
+  // Exactly one caller joins the workers. Without this, an explicit shutdown
+  // racing the destructor has both threads pass the "already stopped" guard
+  // and both call join() on the same std::thread — undefined behaviour. The
+  // join mutex serialises them; the loser arrives after workers_ is cleared
+  // and joins nothing.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }

@@ -40,6 +40,9 @@ class ThreadPool {
   void worker_loop();
 
   mutable std::mutex mutex_;
+  /// Serialises joining: concurrent shutdown calls (explicit shutdown racing
+  /// the destructor) must not both join the same std::thread objects.
+  std::mutex join_mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;

@@ -1,5 +1,7 @@
 #include "estimators/rpc_binding.h"
 
+#include "telemetry/instrument.h"
+
 namespace gae::estimators {
 
 using rpc::Array;
@@ -7,8 +9,10 @@ using rpc::CallContext;
 using rpc::Struct;
 using rpc::Value;
 
-void register_estimator_methods(clarens::ClarensHost& host, EstimatorService& service) {
-  auto& d = host.dispatcher();
+void register_estimator_methods(clarens::ClarensHost& host, EstimatorService& service,
+                                telemetry::Tracer* tracer,
+                                telemetry::MetricsRegistry* metrics) {
+  const telemetry::TracedRegistrar d(host.dispatcher(), tracer, metrics);
 
   // estimator.runtime(site, {attr: value, ...}) -> {seconds, samples, ...}
   d.register_method(

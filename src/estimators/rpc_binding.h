@@ -5,11 +5,17 @@
 
 #include "clarens/host.h"
 #include "estimators/service.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace gae::estimators {
 
 /// Registers estimator.runtime / queueTime / transferTime / sites on the
-/// host. The service must outlive the host.
-void register_estimator_methods(clarens::ClarensHost& host, EstimatorService& service);
+/// host. The service must outlive the host. With a tracer/metrics each
+/// handler also records an "internal" span under service "estimator" and
+/// estimator.<method>.{calls,errors} counters.
+void register_estimator_methods(clarens::ClarensHost& host, EstimatorService& service,
+                                telemetry::Tracer* tracer = nullptr,
+                                telemetry::MetricsRegistry* metrics = nullptr);
 
 }  // namespace gae::estimators

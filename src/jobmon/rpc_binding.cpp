@@ -1,5 +1,7 @@
 #include "jobmon/rpc_binding.h"
 
+#include "telemetry/instrument.h"
+
 namespace gae::jobmon {
 
 using rpc::Array;
@@ -49,8 +51,10 @@ Result<std::string> task_id_param(const Array& params, const char* method) {
 
 }  // namespace
 
-void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& service) {
-  auto& d = host.dispatcher();
+void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& service,
+                             telemetry::Tracer* tracer,
+                             telemetry::MetricsRegistry* metrics) {
+  const telemetry::TracedRegistrar d(host.dispatcher(), tracer, metrics);
 
   d.register_method("jobmon.info",
                     [&service](const Array& params, const CallContext&) -> Result<Value> {

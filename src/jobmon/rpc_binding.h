@@ -5,6 +5,8 @@
 
 #include "clarens/host.h"
 #include "jobmon/service.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace gae::jobmon {
 
@@ -13,7 +15,10 @@ rpc::Value report_to_value(const JobMonitorReport& report);
 
 /// Registers jobmon.info / status / remainingTime / elapsedTime /
 /// queuePosition / progress / list on the host. The service must outlive
-/// the host.
-void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& service);
+/// the host. With a tracer/metrics each handler also records an "internal"
+/// span under service "jobmon" and jobmon.<method>.{calls,errors} counters.
+void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& service,
+                             telemetry::Tracer* tracer = nullptr,
+                             telemetry::MetricsRegistry* metrics = nullptr);
 
 }  // namespace gae::jobmon

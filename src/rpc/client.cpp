@@ -48,6 +48,27 @@ RpcClient::RpcClient(std::vector<Endpoint> endpoints, Protocol protocol,
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     breakers_.push_back(make_breaker(i));
   }
+  arm_endpoint_counters();
+}
+
+void RpcClient::count_endpoint(std::size_t index,
+                               telemetry::Counter* EndpointCounters::*what) {
+  if (index >= endpoint_counters_.size()) return;
+  if (telemetry::Counter* c = endpoint_counters_[index].*what) c->inc();
+}
+
+void RpcClient::arm_endpoint_counters() {
+  endpoint_counters_.assign(endpoints_.size(), EndpointCounters{});
+  if (!options_.metrics) return;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const std::string prefix =
+        "rpc.client." + endpoints_[i].host + ":" + std::to_string(endpoints_[i].port) + ".";
+    EndpointCounters& ec = endpoint_counters_[i];
+    ec.attempts = &options_.metrics->counter(prefix + "attempts");
+    ec.retries = &options_.metrics->counter(prefix + "retries");
+    ec.breaker_transitions = &options_.metrics->counter(prefix + "breaker_transitions");
+    ec.breaker_open = &options_.metrics->counter(prefix + "breaker_open");
+  }
 }
 
 void RpcClient::arm_breaker_listener(CircuitBreaker& breaker, std::size_t index) {
@@ -56,6 +77,10 @@ void RpcClient::arm_breaker_listener(CircuitBreaker& breaker, std::size_t index)
         // A breaker opening means an endpoint went dark: refresh the
         // failover list from discovery before the next connection attempt.
         if (to == CircuitBreaker::State::kOpen) needs_resolve_ = true;
+        count_endpoint(index, &EndpointCounters::breaker_transitions);
+        if (to == CircuitBreaker::State::kOpen) {
+          count_endpoint(index, &EndpointCounters::breaker_open);
+        }
         if (options_.on_breaker_transition && index < endpoints_.size()) {
           options_.on_breaker_transition(endpoints_[index], from, to);
         }
@@ -96,6 +121,7 @@ void RpcClient::set_endpoints(std::vector<Endpoint> endpoints) {
       arm_breaker_listener(*breakers_[i], i);
     }
   }
+  arm_endpoint_counters();
   if (connected_ && reconnect_index == endpoints_.size()) {
     disconnect();  // the endpoint we were talking to is gone
   } else if (connected_) {
@@ -163,6 +189,12 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params) {
 Result<Value> RpcClient::call(const std::string& method, const Array& params,
                               const CallOptions& options) {
   ++stats_.calls;
+  // One client span per logical call (retries included) — the Dapper shape:
+  // the server hop becomes this span's child via the injected context.
+  std::optional<telemetry::ScopedSpan> span;
+  if (options_.tracer) {
+    span.emplace(options_.tracer, options_.trace_service, method, "client");
+  }
   const SimTime deadline =
       options.deadline_ms > 0
           ? clock().now() + static_cast<SimTime>(options.deadline_ms) * 1000
@@ -199,14 +231,17 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
         break;
       }
       ++stats_.retries;
+      count_endpoint(connected_endpoint_, &EndpointCounters::retries);
       if (backoff > 0) options_.sleep_ms(backoff);
     } else {
       ++stats_.retries;
+      count_endpoint(connected_endpoint_, &EndpointCounters::retries);
       const int backoff = options.retry.backoff_ms(attempt);
       if (backoff > 0) options_.sleep_ms(backoff);
     }
   }
   ++stats_.failed_calls;
+  if (span) span->set_status(last.code());
   return last;
 }
 
@@ -216,6 +251,7 @@ Result<Value> RpcClient::call_attempt(const std::string& method, const Array& pa
   if (!conn.is_ok()) return conn;
   CircuitBreaker& breaker = *breakers_[connected_endpoint_];
   if (connected_endpoint_ != 0) ++stats_.failovers;
+  count_endpoint(connected_endpoint_, &EndpointCounters::attempts);
 
   if (deadline > 0) {
     const int rem = remaining_ms(deadline);
@@ -230,6 +266,17 @@ Result<Value> RpcClient::call_attempt(const std::string& method, const Array& pa
   req.path = "/rpc";
   req.headers["connection"] = "keep-alive";
   if (!session_token_.empty()) req.headers["x-clarens-session"] = session_token_;
+
+  // Propagate the ambient trace context (the enclosing ScopedSpan — this
+  // call's client span, or whatever server span this client runs under).
+  // The header is the canonical carrier on HTTP transports; the body's
+  // reserved trace member is for peers that cannot set headers, and
+  // duplicating the triple there would burn ~2µs per call re-parsing bytes
+  // the server already has (the overhead bench budget is 5%).
+  const telemetry::TraceContext trace_ctx = telemetry::current_trace();
+  if (trace_ctx.valid()) {
+    req.trace = telemetry::format_trace(trace_ctx);
+  }
 
   if (protocol_ == Protocol::kJsonRpc) {
     req.headers["content-type"] = "application/json";

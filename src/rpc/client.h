@@ -16,6 +16,8 @@
 #include "common/status.h"
 #include "net/socket.h"
 #include "rpc/value.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace gae::rpc {
 
@@ -66,6 +68,17 @@ struct ClientOptions {
   std::function<void(const Endpoint&, CircuitBreaker::State from,
                      CircuitBreaker::State to)>
       on_breaker_transition;
+  /// When set, the client keeps per-endpoint rpc.client.<host:port>.*
+  /// attempt / retry / failure / breaker-transition counters. Must outlive
+  /// the client.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// When set, every call records one "client" span (child of the ambient
+  /// thread context) to this tracer. Trace context is injected on the wire
+  /// regardless — a tracer-less client still propagates the ambient triple,
+  /// it just records no hop of its own. Must outlive the client.
+  telemetry::Tracer* tracer = nullptr;
+  /// Service name stamped on client spans.
+  std::string trace_service = "rpc-client";
 };
 
 /// Counters exposed for monitoring (published to MonALISA by callers).
@@ -122,6 +135,22 @@ class RpcClient {
   void set_endpoints(std::vector<Endpoint> endpoints);
 
  private:
+  /// Pre-resolved rpc.client.<host:port>.* counter handles for one endpoint,
+  /// armed when the endpoint list is (re)built so the call hot path records
+  /// without building metric names or taking registry locks. All null when
+  /// no metrics registry is configured.
+  struct EndpointCounters {
+    telemetry::Counter* attempts = nullptr;
+    telemetry::Counter* retries = nullptr;
+    telemetry::Counter* breaker_transitions = nullptr;
+    telemetry::Counter* breaker_open = nullptr;
+  };
+
+  /// Bumps the given cached counter for endpoint `index` (no-op without a
+  /// metrics registry).
+  void count_endpoint(std::size_t index, telemetry::Counter* EndpointCounters::*what);
+  /// Rebuilds endpoint_counters_ to mirror endpoints_.
+  void arm_endpoint_counters();
   void arm_breaker_listener(CircuitBreaker& breaker, std::size_t index);
   std::unique_ptr<CircuitBreaker> make_breaker(std::size_t index);
   /// Runs resolve_endpoints when a breaker opened since the last call.
@@ -146,6 +175,7 @@ class RpcClient {
   std::shared_ptr<Clock> owned_clock_;  // when no clock injected
   const Clock* clock_ptr_ = nullptr;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  std::vector<EndpointCounters> endpoint_counters_;  // parallel to endpoints_
   std::string session_token_;
   net::TcpStream stream_;
   bool needs_resolve_ = false;

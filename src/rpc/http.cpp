@@ -52,13 +52,35 @@ Result<HeadAndSpill> read_head(net::TcpStream& stream, std::size_t max_header_by
   }
 }
 
-Status parse_headers(std::istringstream& lines, std::map<std::string, std::string>& out) {
+/// True when the header name in line[0, colon) is `name` (lower-case),
+/// ignoring case and surrounding whitespace. Allocation-free.
+bool header_name_is(const std::string& line, std::size_t colon, const char* name) {
+  std::size_t b = 0, e = colon;
+  while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
+  for (std::size_t i = 0; i < e - b; ++i, ++name) {
+    if (std::tolower(static_cast<unsigned char>(line[b + i])) != *name) return false;
+  }
+  return *name == '\0';
+}
+
+/// `trace_out`, when non-null, receives the x-gae-trace value directly and
+/// keeps that header out of the generic map (hot-path allocation trim).
+Status parse_headers(std::istringstream& lines, std::map<std::string, std::string>& out,
+                     std::string* trace_out = nullptr) {
   std::string line;
   while (std::getline(lines, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     const auto colon = line.find(':');
     if (colon == std::string::npos) return invalid_argument_error("http: malformed header: " + line);
+    if (trace_out && header_name_is(line, colon, "x-gae-trace")) {
+      std::size_t b = colon + 1, e = line.size();
+      while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+      while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
+      trace_out->assign(line, b, e - b);
+      continue;
+    }
     out[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
   }
   return Status::ok();
@@ -123,7 +145,7 @@ Result<Request> read_request(net::TcpStream& stream, const ReadLimits& limits) {
   if (!(rl >> req.method >> req.path >> version)) {
     return invalid_argument_error("http: malformed request line: " + request_line);
   }
-  const Status hs = parse_headers(lines, req.headers);
+  const Status hs = parse_headers(lines, req.headers, &req.trace);
   if (!hs.is_ok()) return hs;
 
   auto body = read_body(stream, std::move(head.value().spill), req.headers,
@@ -136,14 +158,19 @@ Result<Request> read_request(net::TcpStream& stream, const ReadLimits& limits) {
 Status write_request(net::TcpStream& stream, const Request& req) {
   std::ostringstream out;
   out << req.method << ' ' << req.path << " HTTP/1.1\r\n";
-  bool have_host = false, have_len = false;
+  bool have_host = false;
   for (const auto& [k, v] : req.headers) {
+    // A caller-supplied content-length that disagrees with the body would
+    // desync framing on the persistent connection (the peer reads too few or
+    // too many bytes, corrupting every later exchange) — always emit the
+    // actual size, as write_response already does.
+    if (k == "content-length") continue;
     out << k << ": " << v << "\r\n";
     if (k == "host") have_host = true;
-    if (k == "content-length") have_len = true;
   }
   if (!have_host) out << "host: localhost\r\n";
-  if (!have_len) out << "content-length: " << req.body.size() << "\r\n";
+  if (!req.trace.empty()) out << "x-gae-trace: " << req.trace << "\r\n";
+  out << "content-length: " << req.body.size() << "\r\n";
   out << "\r\n" << req.body;
   return stream.write_all(out.str());
 }

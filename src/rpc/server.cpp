@@ -2,6 +2,8 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "common/log.h"
@@ -12,7 +14,17 @@
 namespace gae::rpc {
 
 void Dispatcher::register_method(const std::string& name, Method method) {
-  methods_[name] = std::move(method);
+  MethodEntry& entry = methods_[name];
+  entry.fn = std::move(method);
+  arm_method_metrics(name, entry);
+}
+
+void Dispatcher::arm_method_metrics(const std::string& name, MethodEntry& entry) {
+  if (!metrics_) return;
+  entry.calls = &metrics_->counter("rpc.server." + name + ".calls");
+  entry.errors = &metrics_->counter("rpc.server." + name + ".errors");
+  entry.in_flight = &metrics_->gauge("rpc.server." + name + ".in_flight");
+  entry.latency = &metrics_->histogram("rpc.server." + name + ".latency_us");
 }
 
 bool Dispatcher::has_method(const std::string& name) const {
@@ -30,19 +42,54 @@ void Dispatcher::add_interceptor(Interceptor interceptor) {
   interceptors_.push_back(std::move(interceptor));
 }
 
+void Dispatcher::set_telemetry(telemetry::MetricsRegistry* metrics,
+                               telemetry::Tracer* tracer, std::string service_name) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  service_name_ = std::move(service_name);
+  for (auto& [name, entry] : methods_) arm_method_metrics(name, entry);
+}
+
 Result<Value> Dispatcher::dispatch(const std::string& method, const Array& params,
                                    const CallContext& ctx) const {
-  auto it = methods_.find(method);
-  if (it == methods_.end()) return not_found_error("no such method: " + method);
-  for (const auto& interceptor : interceptors_) {
-    const Status s = interceptor(method, ctx);
-    if (!s.is_ok()) return s;
+  // Span first so interceptor rejections (auth, ACL) are traced and timed
+  // like any other outcome. The remote parent comes off the wire; for
+  // in-process hops ctx.trace is empty and the span chains to the ambient
+  // thread-local context instead.
+  std::optional<telemetry::ScopedSpan> span;
+  if (tracer_ || metrics_) {
+    span.emplace(tracer_, service_name_, method, "server",
+                 telemetry::parse_trace(ctx.trace));
   }
-  try {
-    return it->second(params, ctx);
-  } catch (const std::exception& e) {
-    return invalid_argument_error(std::string("handler error in ") + method + ": " + e.what());
+  const auto it = methods_.find(method);
+  const MethodEntry* entry = it == methods_.end() ? nullptr : &it->second;
+  if (entry && entry->calls) {
+    entry->calls->inc();
+    entry->in_flight->add(1);
   }
+
+  auto result = [&]() -> Result<Value> {
+    if (!entry) return not_found_error("no such method: " + method);
+    for (const auto& interceptor : interceptors_) {
+      const Status s = interceptor(method, ctx);
+      if (!s.is_ok()) return s;
+    }
+    try {
+      return entry->fn(params, ctx);
+    } catch (const std::exception& e) {
+      return invalid_argument_error(std::string("handler error in ") + method + ": " +
+                                    e.what());
+    }
+  }();
+
+  if (entry && entry->calls) {
+    // The span (engaged whenever metrics are) already timed this dispatch.
+    entry->latency->record(static_cast<std::uint64_t>(span->elapsed_us()));
+    entry->in_flight->add(-1);
+    if (!result.is_ok()) entry->errors->inc();
+  }
+  if (span && !result.is_ok()) span->set_status(result.status().code());
+  return result;
 }
 
 int status_to_fault_code(StatusCode code) { return 100 + static_cast<int>(code); }
@@ -110,17 +157,33 @@ void RpcServer::accept_loop() {
     // it at the door instead.
     if (in_flight_.load(std::memory_order_relaxed) >= max_in_flight) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.metrics) {
+        options_.metrics->counter("rpc.server.connections_rejected").inc();
+      }
       continue;  // stream destructor closes the socket
     }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<net::TcpStream>(std::move(stream).value());
     const bool ok = pool_->submit([this, conn]() mutable {
       serve_connection(std::move(*conn));
-      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      const auto remaining = in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      if (options_.metrics) {
+        options_.metrics->gauge("rpc.server.connections")
+            .set(static_cast<std::int64_t>(remaining));
+      }
     });
     if (!ok) {
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
       return;
+    }
+    if (options_.metrics) {
+      // Queue depth right after admission is the moment it peaks: every
+      // admitted connection beyond the worker count is sitting in the pool
+      // queue (the fig-6 knee the paper measures).
+      options_.metrics->gauge("rpc.server.queue_depth")
+          .set(static_cast<std::int64_t>(pool_->queued()));
+      options_.metrics->gauge("rpc.server.connections")
+          .set(static_cast<std::int64_t>(in_flight_.load(std::memory_order_relaxed)));
     }
   }
 }
@@ -144,6 +207,9 @@ void RpcServer::serve_connection(net::TcpStream stream) {
       if (reqr.status().code() == StatusCode::kDeadlineExceeded) {
         // Peer sat silent past the receive timeout; reclaim the worker.
         timeouts_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.metrics) {
+          options_.metrics->counter("rpc.server.connections_timed_out").inc();
+        }
       } else if (reqr.status().code() != StatusCode::kUnavailable) {
         // Clean close of a kept-alive connection is routine; anything else
         // is worth a log line.
@@ -151,7 +217,7 @@ void RpcServer::serve_connection(net::TcpStream stream) {
       }
       return;
     }
-    const http::Request req = std::move(reqr).value();
+    http::Request req = std::move(reqr).value();
     const bool keep_alive = req.keep_alive();
 
     const std::string content_type = req.header("content-type", "text/xml");
@@ -160,6 +226,9 @@ void RpcServer::serve_connection(net::TcpStream stream) {
     CallContext ctx;
     ctx.session_token = req.header("x-clarens-session");
     ctx.protocol = is_json ? "jsonrpc" : "xmlrpc";
+    // Trace context rides the x-gae-trace header; the body's reserved trace
+    // field is the fallback for paths that strip transport headers.
+    ctx.trace = std::move(req.trace);
 
     http::Response resp;
     resp.headers["content-type"] = is_json ? "application/json" : "text/xml";
@@ -170,6 +239,7 @@ void RpcServer::serve_connection(net::TcpStream stream) {
         resp.body = jsonrpc::encode_fault(status_to_fault_code(call.status().code()),
                                           call.status().message(), 0);
       } else {
+        if (ctx.trace.empty()) ctx.trace = call.value().trace;
         auto result = dispatcher_->dispatch(call.value().method, call.value().params, ctx);
         resp.body = result.is_ok()
                         ? jsonrpc::encode_response(result.value(), call.value().id)
@@ -182,6 +252,7 @@ void RpcServer::serve_connection(net::TcpStream stream) {
         resp.body = xmlrpc::encode_fault(status_to_fault_code(call.status().code()),
                                          call.status().message());
       } else {
+        if (ctx.trace.empty()) ctx.trace = call.value().trace;
         auto result = dispatcher_->dispatch(call.value().method, call.value().params, ctx);
         resp.body = result.is_ok()
                         ? xmlrpc::encode_response(result.value())

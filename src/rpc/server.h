@@ -23,6 +23,8 @@
 #include "common/thread_pool.h"
 #include "net/socket.h"
 #include "rpc/value.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace gae::rpc {
 
@@ -30,8 +32,11 @@ namespace gae::rpc {
 struct CallContext {
   /// Value of the x-clarens-session header ("" when absent).
   std::string session_token;
-  /// "xmlrpc" or "jsonrpc".
+  /// "xmlrpc", "jsonrpc" or "local".
   std::string protocol;
+  /// Propagated trace triple off the wire (x-gae-trace header, or the
+  /// body's reserved trace field when the header is absent). "" = none.
+  std::string trace;
 };
 
 /// A method implementation. Return a Status error to send an RPC fault.
@@ -56,9 +61,35 @@ class Dispatcher {
   using Interceptor = std::function<Status(const std::string& method, const CallContext& ctx)>;
   void add_interceptor(Interceptor interceptor);
 
+  /// Arms telemetry on every dispatch, whichever transport it arrives by
+  /// (TCP worker or in-process call): a "server" span per request — child of
+  /// the wire context in ctx.trace, or of the ambient span for in-process
+  /// hops — plus per-method rpc.server.<method>.{calls,errors,in_flight,
+  /// latency_us} metrics. Either pointer may be null; both must outlive the
+  /// dispatcher.
+  void set_telemetry(telemetry::MetricsRegistry* metrics, telemetry::Tracer* tracer,
+                     std::string service_name);
+
  private:
-  std::map<std::string, Method> methods_;
+  /// A registered method plus its pre-resolved metric handles. Handles are
+  /// resolved once (at registration or set_telemetry, whichever comes last)
+  /// so the dispatch hot path records without building metric names or
+  /// taking registry locks.
+  struct MethodEntry {
+    Method fn;
+    telemetry::Counter* calls = nullptr;
+    telemetry::Counter* errors = nullptr;
+    telemetry::Gauge* in_flight = nullptr;
+    telemetry::Histogram* latency = nullptr;
+  };
+
+  void arm_method_metrics(const std::string& name, MethodEntry& entry);
+
+  std::map<std::string, MethodEntry> methods_;
   std::vector<Interceptor> interceptors_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
+  std::string service_name_ = "rpc";
 };
 
 /// Converts service Status codes to wire fault codes and back, so a client
@@ -79,6 +110,11 @@ struct ServerOptions {
   /// Connections admitted concurrently (accepted but not yet finished);
   /// excess connections are closed at accept. 0 = 2 * num_workers.
   std::size_t max_in_flight = 0;
+  /// When set, the server keeps rpc.server.queue_depth (worker-pool backlog)
+  /// and rpc.server.connections gauges current, and counts
+  /// rpc.server.connections_{rejected,timed_out}. Per-method metrics live on
+  /// the Dispatcher (set_telemetry). Must outlive the server.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class RpcServer {

@@ -1,6 +1,7 @@
 #include "steering/rpc_binding.h"
 
 #include "jobmon/rpc_binding.h"
+#include "telemetry/instrument.h"
 
 namespace gae::steering {
 
@@ -29,8 +30,10 @@ Value placement_to_value(const sphinx::SitePlacement& p) {
 
 }  // namespace
 
-void register_steering_methods(clarens::ClarensHost& host, SteeringService& service) {
-  auto& d = host.dispatcher();
+void register_steering_methods(clarens::ClarensHost& host, SteeringService& service,
+                               telemetry::Tracer* tracer,
+                               telemetry::MetricsRegistry* metrics) {
+  const telemetry::TracedRegistrar d(host.dispatcher(), tracer, metrics);
 
   d.register_method("steering.kill",
                     [&service](const Array& params, const CallContext& ctx) -> Result<Value> {

@@ -6,11 +6,17 @@
 
 #include "clarens/host.h"
 #include "steering/service.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace gae::steering {
 
 /// Registers steering.kill / pause / resume / priority / move / info /
-/// notifications on the host. The service must outlive the host.
-void register_steering_methods(clarens::ClarensHost& host, SteeringService& service);
+/// notifications on the host. The service must outlive the host. With a
+/// tracer/metrics each handler also records an "internal" span under service
+/// "steering" and steering.<method>.{calls,errors} counters.
+void register_steering_methods(clarens::ClarensHost& host, SteeringService& service,
+                               telemetry::Tracer* tracer = nullptr,
+                               telemetry::MetricsRegistry* metrics = nullptr);
 
 }  // namespace gae::steering

@@ -15,9 +15,14 @@ void Supervisor::attach(FailureDetector& detector) {
   });
 }
 
+void Supervisor::count(const char* what) {
+  if (metrics_) metrics_->counter(std::string("supervision.") + what).inc();
+}
+
 void Supervisor::on_service_dead(const std::string& name) {
   if (!services_.count(name)) return;  // not ours to restart
   ++stats_.deaths_seen;
+  count("deaths");
   if (pending_.count(name)) return;  // restart already scheduled
   Pending p;
   p.attempt = 1;
@@ -38,9 +43,11 @@ std::size_t Supervisor::tick() {
     const std::string& name = it->first;
     Pending& p = it->second;
     ++stats_.restart_attempts;
+    count("restart_attempts");
     const Status s = services_[name].restart();
     if (s.is_ok()) {
       ++stats_.restarts_succeeded;
+      count("restarts_succeeded");
       ++restarted;
       publish_event(name, "restarted");
       GAE_LOG_INFO << "supervisor: restarted " << name << " (attempt " << p.attempt
@@ -50,10 +57,12 @@ std::size_t Supervisor::tick() {
       continue;
     }
     ++stats_.restarts_failed;
+    count("restarts_failed");
     GAE_LOG_WARN << "supervisor: restart of " << name << " failed (attempt "
                  << p.attempt << "): " << s.message();
     if (p.attempt >= options_.restart_backoff.max_attempts) {
       ++stats_.gave_up;
+      count("gave_up");
       publish_event(name, "gave_up");
       GAE_LOG_ERROR << "supervisor: giving up on " << name << " after " << p.attempt
                     << " attempts";

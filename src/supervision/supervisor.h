@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "monalisa/repository.h"
 #include "supervision/failure_detector.h"
+#include "telemetry/metrics.h"
 
 namespace gae::supervision {
 
@@ -46,8 +47,9 @@ struct SupervisorStats {
 class Supervisor {
  public:
   explicit Supervisor(const Clock& clock, SupervisorOptions options = {},
-                      monalisa::Repository* monitoring = nullptr)
-      : clock_(clock), options_(options), monitoring_(monitoring) {}
+                      monalisa::Repository* monitoring = nullptr,
+                      telemetry::MetricsRegistry* metrics = nullptr)
+      : clock_(clock), options_(options), monitoring_(monitoring), metrics_(metrics) {}
 
   /// Registers a restart recipe (replacing any previous one for the name).
   void manage(SupervisedService service);
@@ -78,10 +80,13 @@ class Supervisor {
   };
 
   void publish_event(const std::string& service, const std::string& what);
+  /// Bumps the supervision.<what> counter (no-op without a registry).
+  void count(const char* what);
 
   const Clock& clock_;
   SupervisorOptions options_;
   monalisa::Repository* monitoring_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
   FailureDetector* detector_ = nullptr;
   std::map<std::string, SupervisedService> services_;
   std::map<std::string, Pending> pending_;

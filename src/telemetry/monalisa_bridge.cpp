@@ -1,0 +1,60 @@
+#include "telemetry/monalisa_bridge.h"
+
+#include <chrono>
+#include <utility>
+
+namespace gae::telemetry {
+
+MonalisaBridge::MonalisaBridge(const MetricsRegistry& registry,
+                               monalisa::Repository& repository, std::string source,
+                               const Clock& clock)
+    : registry_(registry),
+      repository_(repository),
+      source_(std::move(source)),
+      clock_(clock) {}
+
+MonalisaBridge::~MonalisaBridge() { stop(); }
+
+void MonalisaBridge::flush() {
+  const MetricsSnapshot snap = registry_.snapshot();
+  const SimTime now = clock_.now();
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  for (const auto& [name, value] : snap.counters) {
+    repository_.publish(source_, name, now, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    repository_.publish(source_, name, now, static_cast<double>(value));
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    repository_.publish(source_, name + ".count", now, static_cast<double>(hist.count));
+    if (hist.count == 0) continue;
+    repository_.publish(source_, name + ".mean_us", now, hist.mean());
+    repository_.publish(source_, name + ".p50_us", now, hist.percentile(50));
+    repository_.publish(source_, name + ".p95_us", now, hist.percentile(95));
+    repository_.publish(source_, name + ".p99_us", now, hist.percentile(99));
+  }
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MonalisaBridge::start(int interval_ms) {
+  if (running_.exchange(true)) return;
+  flusher_ = std::thread([this, interval_ms] {
+    while (running_.load(std::memory_order_acquire)) {
+      flush();
+      // Sleep in small slices so stop() is prompt.
+      int remaining = interval_ms;
+      while (remaining > 0 && running_.load(std::memory_order_acquire)) {
+        const int slice = remaining < 20 ? remaining : 20;
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        remaining -= slice;
+      }
+    }
+  });
+}
+
+void MonalisaBridge::stop() {
+  if (!running_.exchange(false)) return;
+  if (flusher_.joinable()) flusher_.join();
+}
+
+}  // namespace gae::telemetry

@@ -1,0 +1,52 @@
+// Bridges the metrics registry into the MonALISA-substitute repository the
+// way farm agents feed the real MonALISA: every flush publishes counters,
+// gauges and histogram summaries (count / mean / p50 / p95 / p99) as metric
+// points under one source. Under simulation, drive flush() from a
+// monalisa::PeriodicSampler; in live deployments start() runs a background
+// flusher thread. Repository access is serialised by an internal mutex, so
+// flush() and the background thread never interleave a publish.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "monalisa/repository.h"
+#include "telemetry/metrics.h"
+
+namespace gae::telemetry {
+
+class MonalisaBridge {
+ public:
+  MonalisaBridge(const MetricsRegistry& registry, monalisa::Repository& repository,
+                 std::string source, const Clock& clock);
+  ~MonalisaBridge();
+
+  MonalisaBridge(const MonalisaBridge&) = delete;
+  MonalisaBridge& operator=(const MonalisaBridge&) = delete;
+
+  /// Publishes one snapshot at clock.now(). Histogram series get ".count",
+  /// ".mean_us", ".p50_us", ".p95_us", ".p99_us" suffixes.
+  void flush();
+
+  /// Starts a background thread flushing every `interval_ms` (idempotent).
+  void start(int interval_ms);
+  void stop();
+
+  std::uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+
+ private:
+  const MetricsRegistry& registry_;
+  monalisa::Repository& repository_;
+  std::string source_;
+  const Clock& clock_;
+  std::mutex publish_mutex_;
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<bool> running_{false};
+  std::thread flusher_;
+};
+
+}  // namespace gae::telemetry

@@ -1,0 +1,75 @@
+#include "telemetry/rpc_binding.h"
+
+#include <cstdlib>
+
+namespace gae::telemetry {
+
+using rpc::Array;
+using rpc::CallContext;
+using rpc::Struct;
+using rpc::Value;
+
+Value snapshot_to_value(const MetricsSnapshot& snapshot) {
+  Struct counters;
+  for (const auto& [name, v] : snapshot.counters) {
+    counters[name] = Value(static_cast<std::int64_t>(v));
+  }
+  Struct gauges;
+  for (const auto& [name, v] : snapshot.gauges) {
+    gauges[name] = Value(static_cast<std::int64_t>(v));
+  }
+  Struct histograms;
+  for (const auto& [name, h] : snapshot.histograms) {
+    Struct out;
+    out["count"] = Value(static_cast<std::int64_t>(h.count));
+    out["sum_us"] = Value(static_cast<std::int64_t>(h.sum));
+    out["min_us"] = Value(static_cast<std::int64_t>(h.min));
+    out["max_us"] = Value(static_cast<std::int64_t>(h.max));
+    out["mean_us"] = Value(h.mean());
+    out["p50_us"] = Value(h.percentile(50));
+    out["p95_us"] = Value(h.percentile(95));
+    out["p99_us"] = Value(h.percentile(99));
+    histograms[name] = Value(std::move(out));
+  }
+  Struct top;
+  top["counters"] = Value(std::move(counters));
+  top["gauges"] = Value(std::move(gauges));
+  top["histograms"] = Value(std::move(histograms));
+  return Value(std::move(top));
+}
+
+void register_telemetry_methods(clarens::ClarensHost& host, MetricsRegistry& registry,
+                                Tracer* tracer) {
+  auto& d = host.dispatcher();
+
+  d.register_method("telemetry.snapshot",
+                    [&registry](const Array&, const CallContext&) -> Result<Value> {
+                      return snapshot_to_value(registry.snapshot());
+                    });
+
+  if (!tracer) return;
+
+  d.register_method(
+      "telemetry.trace", [tracer](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.empty() || !params[0].is_string()) {
+          return invalid_argument_error("telemetry.trace(trace_id_hex)");
+        }
+        const std::uint64_t trace_id =
+            std::strtoull(params[0].as_string().c_str(), nullptr, 16);
+        Array out;
+        for (const auto& span : tracer->trace(trace_id)) {
+          Struct s;
+          s["trace"] = Value(format_trace(span.context));
+          s["service"] = Value(span.service);
+          s["name"] = Value(span.name);
+          s["kind"] = Value(span.kind);
+          s["start_us"] = Value(span.start_us);
+          s["duration_us"] = Value(span.duration_us);
+          s["status"] = Value(static_cast<std::int64_t>(span.status));
+          out.emplace_back(std::move(s));
+        }
+        return Value(std::move(out));
+      });
+}
+
+}  // namespace gae::telemetry

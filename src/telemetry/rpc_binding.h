@@ -1,0 +1,22 @@
+// Web-service face of the telemetry subsystem: registers "telemetry.*"
+// methods on a Clarens host so operators (and tests) can read live metric
+// snapshots and assembled traces over RPC.
+#pragma once
+
+#include "clarens/host.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace gae::telemetry {
+
+/// Registers telemetry.snapshot (full registry snapshot with per-histogram
+/// p50/p95/p99) and, when `tracer` is non-null, telemetry.trace(trace_id_hex)
+/// returning the spans of one trace. The registry and tracer must outlive
+/// the host.
+void register_telemetry_methods(clarens::ClarensHost& host, MetricsRegistry& registry,
+                                Tracer* tracer = nullptr);
+
+/// The telemetry.snapshot payload as an RPC value (also reused by benches).
+rpc::Value snapshot_to_value(const MetricsSnapshot& snapshot);
+
+}  // namespace gae::telemetry

@@ -1,0 +1,205 @@
+#include "telemetry/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <utility>
+
+namespace gae::telemetry {
+
+namespace {
+
+thread_local TraceContext tls_current;
+
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t next_trace_id() {
+  // Per-thread stream: a shared atomic counter would bounce its cache line
+  // between the client and server threads on every traced hop. Each thread
+  // walks splitmix64 from its own random 64-bit start, so collisions across
+  // threads are birthday-bound on 64 bits.
+  thread_local std::uint64_t state = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  }();
+  std::uint64_t id;
+  do {
+    id = splitmix64(state++);
+  } while (id == 0);
+  return id;
+}
+
+namespace {
+
+// Hand-rolled hex codec: this runs on every traced hop, and snprintf/sscanf
+// cost ~1µs a pair — a visible slice of the <5% overhead budget.
+void put_hex16(char* out, std::uint64_t v) {
+  static const char digits[] = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    out[i] = digits[v & 0xf];
+    v >>= 4;
+  }
+}
+
+/// Parses 1-16 hex digits at `p` into `out`; returns the char after the last
+/// digit, or null on no digits / overflow.
+const char* get_hex(const char* p, std::uint64_t& out) {
+  out = 0;
+  int digits = 0;
+  for (;; ++p) {
+    int d;
+    if (*p >= '0' && *p <= '9') {
+      d = *p - '0';
+    } else if (*p >= 'a' && *p <= 'f') {
+      d = *p - 'a' + 10;
+    } else if (*p >= 'A' && *p <= 'F') {
+      d = *p - 'A' + 10;
+    } else {
+      break;
+    }
+    if (++digits > 16) return nullptr;
+    out = (out << 4) | static_cast<std::uint64_t>(d);
+  }
+  return digits > 0 ? p : nullptr;
+}
+
+}  // namespace
+
+std::string format_trace(const TraceContext& ctx) {
+  std::string out(3 * 16 + 2, ';');
+  put_hex16(out.data(), ctx.trace_id);
+  put_hex16(out.data() + 17, ctx.span_id);
+  put_hex16(out.data() + 34, ctx.parent_span_id);
+  return out;
+}
+
+TraceContext parse_trace(const std::string& text) {
+  TraceContext ctx;
+  const char* p = get_hex(text.c_str(), ctx.trace_id);
+  if (!p || *p != ';') return {};
+  p = get_hex(p + 1, ctx.span_id);
+  if (!p || *p != ';') return {};
+  p = get_hex(p + 1, ctx.parent_span_id);
+  if (!p) return {};
+  return ctx.valid() ? ctx : TraceContext{};
+}
+
+TraceContext current_trace() { return tls_current; }
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+void Tracer::record(Span span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() < max_spans_) {
+    spans_.push_back(std::move(span));
+    return;
+  }
+  ++dropped_;
+  if (max_spans_ == 0) return;
+  spans_[next_] = std::move(span);  // overwrite the oldest in place
+  next_ = (next_ + 1) % max_spans_;
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Span> out;
+  out.reserve(spans_.size());
+  out.insert(out.end(), spans_.begin() + static_cast<std::ptrdiff_t>(next_), spans_.end());
+  out.insert(out.end(), spans_.begin(), spans_.begin() + static_cast<std::ptrdiff_t>(next_));
+  return out;
+}
+
+std::vector<Span> Tracer::trace(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Span> out;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[(next_ + i) % spans_.size()];
+    if (s.context.trace_id == trace_id) out.push_back(s);
+  }
+  return out;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSpan
+// ---------------------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string service, std::string name,
+                       std::string kind)
+    : ScopedSpan(tracer, std::move(service), std::move(name), std::move(kind),
+                 TraceContext{}) {}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string service, std::string name,
+                       std::string kind, const TraceContext& remote_parent)
+    : tracer_(tracer),
+      service_(std::move(service)),
+      name_(std::move(name)),
+      kind_(std::move(kind)),
+      start_us_(wall_now_us()),
+      steady_start_(std::chrono::steady_clock::now()) {
+  previous_ = tls_current;
+  const TraceContext& parent = remote_parent.valid() ? remote_parent : previous_;
+  context_.trace_id = parent.valid() ? parent.trace_id : next_trace_id();
+  context_.span_id = next_trace_id();
+  context_.parent_span_id = parent.valid() ? parent.span_id : 0;
+  tls_current = context_;
+}
+
+std::int64_t ScopedSpan::elapsed_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - steady_start_)
+      .count();
+}
+
+ScopedSpan::~ScopedSpan() {
+  tls_current = previous_;
+  if (!tracer_) return;
+  Span span;
+  span.context = context_;
+  span.service = std::move(service_);
+  span.name = std::move(name_);
+  span.kind = std::move(kind_);
+  span.start_us = start_us_;
+  span.duration_us = elapsed_us();
+  span.status = status_;
+  tracer_->record(std::move(span));
+}
+
+}  // namespace gae::telemetry

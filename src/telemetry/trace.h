@@ -1,0 +1,134 @@
+// Dapper-style per-request trace propagation. A TraceContext
+// (trace_id / span_id / parent_span_id) rides every RPC hop — in the
+// x-gae-trace HTTP header and in a reserved metadata field of the
+// JSON-RPC / XML-RPC body — so one steering command assembles into a single
+// cross-service trace: client span -> clarens-host server span -> steering
+// span -> downstream hops. Spans are recorded into a bounded in-memory
+// Tracer per process and exported via the telemetry.trace RPC method.
+//
+// Propagation inside a process is ambient: a thread-local holds the current
+// context, ScopedSpan pushes a child on construction and pops on
+// destruction, and RpcClient injects whatever is current at call time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gae::telemetry {
+
+/// The propagated triple. trace_id groups all spans of one request; span_id
+/// names this hop; parent_span_id links to the causing hop (0 at the root).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0 && span_id != 0; }
+};
+
+/// Wire format: "<trace_id>;<span_id>;<parent_span_id>", each 16 lowercase
+/// hex digits (e.g. "00c0ffee00c0ffee;0000000000000001;0000000000000000").
+std::string format_trace(const TraceContext& ctx);
+
+/// Parses the wire format; an invalid TraceContext (trace_id 0) for empty
+/// or malformed input — propagation degrades to starting a fresh trace.
+TraceContext parse_trace(const std::string& text);
+
+/// Process-unique non-zero 64-bit id (splitmix64 over a per-thread counter
+/// seeded randomly on first use).
+std::uint64_t next_trace_id();
+
+/// The ambient context of the calling thread (invalid when no span is open).
+TraceContext current_trace();
+
+/// One finished hop.
+struct Span {
+  TraceContext context;
+  std::string service;  // which service recorded it ("clarens-host", "steering")
+  std::string name;     // usually the RPC method, e.g. "steering.move"
+  std::string kind;     // "client", "server" or "internal"
+  std::int64_t start_us = 0;     // wall microseconds since the unix epoch
+  std::int64_t duration_us = 0;
+  StatusCode status = StatusCode::kOk;
+};
+
+/// Bounded in-memory span sink (one per process; tests may share one across
+/// in-process hosts to assemble multi-service traces directly). Thread-safe.
+class Tracer {
+ public:
+  /// Default capacity keeps the ring ~330KB (2048 spans × ~160B) so steady-
+  /// state recording stays inside L2; raise it for tools that inspect long
+  /// histories (the bounded window only affects telemetry.trace lookback,
+  /// not metrics).
+  explicit Tracer(std::size_t max_spans = 2048) : max_spans_(max_spans) {}
+
+  void record(Span span);
+
+  /// All retained spans, oldest first.
+  std::vector<Span> spans() const;
+
+  /// Retained spans belonging to `trace_id`, oldest first.
+  std::vector<Span> trace(std::uint64_t trace_id) const;
+
+  std::size_t span_count() const;
+  /// Spans evicted because the buffer was full.
+  std::uint64_t dropped() const;
+
+  void clear();
+
+  /// Process-wide default tracer.
+  static Tracer& global();
+
+ private:
+  /// Ring buffer: spans_[next_] is the oldest entry once the buffer is full
+  /// (next_ is then also the overwrite position). A vector ring keeps the
+  /// full hot path allocation-free — a deque churns a block malloc/free
+  /// every few records at capacity, which showed up in the overhead bench.
+  std::size_t max_spans_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::size_t next_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: on construction becomes the thread's current context as a
+/// child of the previous current (or of `remote_parent` when the request
+/// arrived off the wire); on destruction records the finished span and
+/// restores the previous context. A null tracer still propagates context
+/// (children chain correctly) but records nothing.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string service, std::string name, std::string kind);
+  /// Server-side form: adopt the caller's wire context as the parent. An
+  /// invalid remote_parent falls back to the ambient/current context.
+  ScopedSpan(Tracer* tracer, std::string service, std::string name, std::string kind,
+             const TraceContext& remote_parent);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_status(StatusCode code) { status_ = code; }
+  const TraceContext& context() const { return context_; }
+
+  /// Microseconds since construction (monotonic). Lets instrumentation that
+  /// already opened a span reuse its measurement instead of reading the
+  /// clock again.
+  std::int64_t elapsed_us() const;
+
+ private:
+  Tracer* tracer_;
+  TraceContext context_;
+  TraceContext previous_;
+  std::string service_, name_, kind_;
+  std::int64_t start_us_;                                // wall, for Span.start_us
+  std::chrono::steady_clock::time_point steady_start_;   // monotonic, for duration
+  StatusCode status_ = StatusCode::kOk;
+};
+
+}  // namespace gae::telemetry

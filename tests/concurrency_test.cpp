@@ -62,6 +62,28 @@ TEST(ThreadPool, DrainFalseDropsQueuedWork) {
   EXPECT_EQ(done.load(), 1);  // only the in-flight task ran
 }
 
+TEST(ThreadPool, ConcurrentShutdownCallsAreSafe) {
+  // Regression: two threads calling shutdown() concurrently used to race
+  // into joining the same std::thread (UB). The join phase is now
+  // serialised, so any mix of drain modes from any number of callers is
+  // safe and every submitted-before-shutdown task either runs or is
+  // dropped — never crashes.
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 4; ++i) {
+      stoppers.emplace_back([&pool, i] { pool.shutdown(/*drain=*/i % 2 == 0); });
+    }
+    for (auto& t : stoppers) t.join();
+    EXPECT_FALSE(pool.submit([] {}));
+    EXPECT_LE(done.load(), 32);
+  }
+}
+
 TEST(ThreadPool, ParallelSubmitters) {
   ThreadPool pool(4);
   std::atomic<int> count{0};

@@ -203,6 +203,43 @@ TEST(HttpFraming, RequestRoundTripOverSocket) {
   EXPECT_TRUE(got.value().keep_alive());
 }
 
+TEST(HttpFraming, CallerSuppliedContentLengthIsOverwritten) {
+  // Regression: write_request used to trust a caller-supplied content-length
+  // even when it disagreed with the body, desyncing the persistent
+  // connection's framing. The serializer must always emit the body's true
+  // size.
+  auto listener = net::TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  auto client = net::TcpStream::connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.is_ok());
+  auto served = listener.value().accept();
+  ASSERT_TRUE(served.is_ok());
+
+  http::Request req;
+  req.method = "POST";
+  req.path = "/rpc";
+  req.headers["content-length"] = "9999";  // lies about the body size
+  req.body = "short";
+  ASSERT_TRUE(http::write_request(client.value(), req).is_ok());
+
+  auto got = http::read_request(served.value());
+  ASSERT_TRUE(got.is_ok()) << got.status();
+  EXPECT_EQ(got.value().header("content-length"), "5");
+  EXPECT_EQ(got.value().body, "short");
+
+  // The connection stays framed: a second request on the same stream still
+  // parses cleanly.
+  http::Request req2;
+  req2.method = "POST";
+  req2.path = "/rpc";
+  req2.headers["content-length"] = "1";
+  req2.body = "second payload";
+  ASSERT_TRUE(http::write_request(client.value(), req2).is_ok());
+  auto got2 = http::read_request(served.value());
+  ASSERT_TRUE(got2.is_ok()) << got2.status();
+  EXPECT_EQ(got2.value().body, "second payload");
+}
+
 TEST(HttpFraming, ResponseRoundTripOverSocket) {
   auto listener = net::TcpListener::bind(0);
   ASSERT_TRUE(listener.is_ok());

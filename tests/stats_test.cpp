@@ -106,6 +106,32 @@ TEST(LinearRegression, NoisyLineRecoversSlope) {
   EXPECT_GT(fit.r_squared, 0.99);
 }
 
+TEST(LinearRegression, LargeMagnitudeTimestampsKeepPrecision) {
+  // Regression: the old sxx - sx^2/n form cancelled catastrophically when x
+  // is an epoch-microsecond timestamp (~1.7e15) with small deltas, flipping
+  // slopes and even dividing by a negative "variance". The centered
+  // accumulation recovers the exact line.
+  const double epoch_us = 1.7e15;
+  LinearRegression reg;
+  for (int i = 0; i < 100; ++i) {
+    const double x = epoch_us + 1000.0 * i;  // one sample per millisecond
+    reg.add(x, 0.25 * (x - epoch_us) + 42.0);
+  }
+  const LinearFit fit = reg.fit();
+  ASSERT_TRUE(fit.valid);
+  EXPECT_NEAR(fit.slope, 0.25, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(fit.predict(epoch_us + 200'000.0), 0.25 * 200'000.0 + 42.0, 1e-3);
+}
+
+TEST(LinearRegression, LargeXOffsetIdenticalXStaysInvalid) {
+  // All-identical large-magnitude x must still report "slope undefined"
+  // rather than fabricating one out of rounding noise.
+  LinearRegression reg;
+  for (int i = 0; i < 10; ++i) reg.add(1.7e15, static_cast<double>(i));
+  EXPECT_FALSE(reg.fit().valid);
+}
+
 TEST(Percentile, EmptyAndSingle) {
   EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
   EXPECT_DOUBLE_EQ(percentile({5.0}, 0), 5.0);
