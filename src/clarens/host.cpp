@@ -75,6 +75,7 @@ Result<std::uint16_t> ClarensHost::serve(std::uint16_t port) {
   opts.port = port;
   opts.num_workers = options_.rpc_workers;
   opts.metrics = options_.metrics;
+  opts.admission = options_.admission;
   server_ = std::make_unique<rpc::RpcServer>(dispatcher_, opts);
   auto bound = server_->start();
   if (!bound.is_ok()) {

@@ -36,6 +36,11 @@ struct HostOptions {
   /// both must outlive the host.
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::Tracer* tracer = nullptr;
+  /// Adaptive admission control for the TCP transport (see
+  /// rpc::ServerOptions::admission); service bindings may also consult it
+  /// for brownout (degraded-mode) decisions. Null = static cap only. Must
+  /// outlive the host.
+  AdmissionController* admission = nullptr;
 };
 
 class ClarensHost {

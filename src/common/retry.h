@@ -18,6 +18,8 @@
 
 namespace gae {
 
+class RetryBudget;  // common/admission.h
+
 /// How a caller should retry a failed operation. The schedule is
 /// deterministic: backoff_ms(attempt) always returns the same value for the
 /// same policy, so chaos tests replay exactly.
@@ -36,6 +38,12 @@ struct RetryPolicy {
   /// Seed for the deterministic jitter draw.
   std::uint64_t jitter_seed = 1;
 
+  /// Optional shared retry budget (common/admission.h). When set, every
+  /// retry must win a token first, capping retries at ~ratio of fresh
+  /// traffic so client policies cannot amplify an overload into a retry
+  /// storm. Must outlive every caller using this policy.
+  RetryBudget* budget = nullptr;
+
   /// Backoff before retry number `attempt` (1-based: 1 = first retry).
   /// Always >= 0; exact given the same policy fields.
   int backoff_ms(int attempt) const;
@@ -46,7 +54,7 @@ struct RetryPolicy {
   static bool is_retryable(StatusCode code);
 
   /// A policy that never retries.
-  static RetryPolicy none() { return RetryPolicy{1, 0, 1.0, 0, 0.0, 1}; }
+  static RetryPolicy none() { return RetryPolicy{1, 0, 1.0, 0, 0.0, 1, nullptr}; }
 };
 
 /// Options for CircuitBreaker. Defaults are lenient enough that a healthy

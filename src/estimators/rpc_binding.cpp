@@ -11,21 +11,37 @@ using rpc::Value;
 
 void register_estimator_methods(clarens::ClarensHost& host, EstimatorService& service,
                                 telemetry::Tracer* tracer,
-                                telemetry::MetricsRegistry* metrics) {
+                                telemetry::MetricsRegistry* metrics,
+                                AdmissionController* admission) {
   const telemetry::TracedRegistrar d(host.dispatcher(), tracer, metrics);
+  telemetry::Counter* brownout_fallbacks =
+      metrics ? &metrics->counter("estimator.brownout_fallbacks") : nullptr;
 
   // estimator.runtime(site, {attr: value, ...}) -> {seconds, samples, ...}
+  // Under brownout the similarity matcher is skipped for the cheap
+  // history-mean estimate; the response says so via degraded=true.
   d.register_method(
       "estimator.runtime",
-      [&service](const Array& params, const CallContext&) -> Result<Value> {
+      [&service, admission, brownout_fallbacks, tracer](
+          const Array& params, const CallContext&) -> Result<Value> {
         if (params.size() != 2 || !params[0].is_string() || !params[1].is_struct()) {
           return invalid_argument_error("estimator.runtime(site, attributes)");
         }
-        std::map<std::string, std::string> attributes;
-        for (const auto& [key, value] : params[1].as_struct()) {
-          attributes[key] = value.is_string() ? value.as_string() : value.debug_string();
-        }
-        auto est = service.runtime(params[0].as_string(), attributes);
+        const bool degraded = admission && admission->browned_out();
+        Result<RuntimeEstimate> est = [&]() {
+          if (degraded) {
+            // A distinct span name makes brownout service visible in traces.
+            telemetry::ScopedSpan span(tracer, "estimator", "runtime.brownout",
+                                       "internal");
+            if (brownout_fallbacks) brownout_fallbacks->inc();
+            return service.runtime_cheap(params[0].as_string());
+          }
+          std::map<std::string, std::string> attributes;
+          for (const auto& [key, value] : params[1].as_struct()) {
+            attributes[key] = value.is_string() ? value.as_string() : value.debug_string();
+          }
+          return service.runtime(params[0].as_string(), attributes);
+        }();
         if (!est.is_ok()) return est.status();
         Struct out;
         out["seconds"] = Value(est.value().seconds);
@@ -33,6 +49,7 @@ void register_estimator_methods(clarens::ClarensHost& host, EstimatorService& se
         out["template"] = Value(est.value().template_name);
         out["estimator"] = Value(std::string(estimator_kind_name(est.value().used)));
         out["stddev"] = Value(est.value().stddev);
+        out["degraded"] = Value(degraded);
         return Value(std::move(out));
       });
 

@@ -14,8 +14,15 @@ namespace gae::estimators {
 /// host. The service must outlive the host. With a tracer/metrics each
 /// handler also records an "internal" span under service "estimator" and
 /// estimator.<method>.{calls,errors} counters.
+///
+/// With `admission` set, estimator.runtime degrades under brownout: instead
+/// of similarity matching it serves the cheap history-mean estimate, marks
+/// the response with degraded=true, and counts estimator.brownout_fallbacks.
+/// Bulk estimate consumers get *an* answer fast while capacity goes to the
+/// critical tiers.
 void register_estimator_methods(clarens::ClarensHost& host, EstimatorService& service,
                                 telemetry::Tracer* tracer = nullptr,
-                                telemetry::MetricsRegistry* metrics = nullptr);
+                                telemetry::MetricsRegistry* metrics = nullptr,
+                                AdmissionController* admission = nullptr);
 
 }  // namespace gae::estimators

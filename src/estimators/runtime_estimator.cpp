@@ -74,6 +74,23 @@ Result<RuntimeEstimate> RuntimeEstimator::estimate(
   return est;
 }
 
+Result<RuntimeEstimate> RuntimeEstimator::estimate_cheap() const {
+  RunningStats stats;
+  for (const HistoryEntry& e : history_->entries()) {
+    if (e.successful) stats.add(e.runtime_seconds);
+  }
+  if (stats.count() == 0) {
+    return failed_precondition_error("no task history available for estimation");
+  }
+  RuntimeEstimate est;
+  est.samples = stats.count();
+  est.template_name = "*";
+  est.used = EstimatorKind::kMean;
+  est.seconds = stats.mean();
+  est.stddev = stats.stddev();
+  return est;
+}
+
 void RuntimeEstimator::record(const std::map<std::string, std::string>& attributes,
                               double runtime_seconds, SimTime at, bool successful) {
   HistoryEntry entry;

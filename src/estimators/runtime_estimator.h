@@ -58,6 +58,13 @@ class RuntimeEstimator {
   Result<RuntimeEstimate> estimate(
       const std::map<std::string, std::string>& attributes) const;
 
+  /// Degraded-mode estimate: the mean over every successful history entry,
+  /// skipping similarity matching and regression entirely. O(history) with
+  /// no template scoring — what the service serves while browned out.
+  /// template_name is "*" and `used` is kMean. FAILED_PRECONDITION when no
+  /// successful entries exist.
+  Result<RuntimeEstimate> estimate_cheap() const;
+
   /// Records an observed runtime (decentralised history maintenance: the
   /// execution site calls this when a task completes).
   void record(const std::map<std::string, std::string>& attributes,

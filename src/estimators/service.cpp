@@ -38,6 +38,13 @@ Result<RuntimeEstimate> EstimatorService::runtime(
   return it->second.runtime->estimate(attributes);
 }
 
+Result<RuntimeEstimate> EstimatorService::runtime_cheap(const std::string& site) const {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return not_found_error("no estimator at site " + site);
+  if (!it->second.runtime) return failed_precondition_error("site has no runtime estimator");
+  return it->second.runtime->estimate_cheap();
+}
+
 Result<QueueTimeEstimate> EstimatorService::queue_time(const std::string& site,
                                                        const std::string& task_id) const {
   auto it = sites_.find(site);

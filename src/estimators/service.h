@@ -34,6 +34,10 @@ class EstimatorService {
   Result<RuntimeEstimate> runtime(const std::string& site,
                                   const std::map<std::string, std::string>& attributes) const;
 
+  /// Brownout path: the site's cheap history-mean estimate (no similarity
+  /// matching), served while the host is shedding load.
+  Result<RuntimeEstimate> runtime_cheap(const std::string& site) const;
+
   /// §6.2: queue wait for a submitted task at the site currently holding it.
   Result<QueueTimeEstimate> queue_time(const std::string& site,
                                        const std::string& task_id) const;

@@ -1,5 +1,9 @@
 #include "jobmon/rpc_binding.h"
 
+#include <memory>
+#include <mutex>
+
+#include "rpc/deadline.h"
 #include "telemetry/instrument.h"
 
 namespace gae::jobmon {
@@ -49,26 +53,84 @@ Result<std::string> task_id_param(const Array& params, const char* method) {
   return params[0].as_string();
 }
 
+/// Bounded-staleness snapshot of every report, rebuilt at most once per
+/// staleness window while the host is browned out. Monitoring reads served
+/// from it cost one map lookup instead of a fan-out over the execution
+/// services — stale data is tolerable for jobmon tiers, absence is not.
+struct SnapshotCache {
+  std::mutex mutex;
+  std::map<std::string, JobMonitorReport> reports;  // by task id
+  std::int64_t refreshed_at_us = 0;
+  bool valid = false;
+};
+
 }  // namespace
 
 void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& service,
                              telemetry::Tracer* tracer,
-                             telemetry::MetricsRegistry* metrics) {
+                             telemetry::MetricsRegistry* metrics,
+                             AdmissionController* admission, int staleness_ms) {
   const telemetry::TracedRegistrar d(host.dispatcher(), tracer, metrics);
 
+  auto cache = std::make_shared<SnapshotCache>();
+  const std::int64_t staleness_us = static_cast<std::int64_t>(staleness_ms) * 1000;
+  telemetry::Counter* cached_counter =
+      metrics ? &metrics->counter("jobmon.brownout_cached") : nullptr;
+  // Refreshes the snapshot if it has gone stale and returns a copy of it
+  // (copied under the lock; only the brownout path pays this).
+  auto snapshot = [cache, &service, staleness_us,
+                   cached_counter]() -> std::map<std::string, JobMonitorReport> {
+    std::lock_guard<std::mutex> lock(cache->mutex);
+    const std::int64_t now = rpc::steady_now_us();
+    if (!cache->valid || now - cache->refreshed_at_us > staleness_us) {
+      cache->reports.clear();
+      for (auto& report : service.list_all()) {
+        std::string id = report.info.spec.id;
+        cache->reports[std::move(id)] = std::move(report);
+      }
+      cache->refreshed_at_us = now;
+      cache->valid = true;
+    }
+    if (cached_counter) cached_counter->inc();
+    return cache->reports;
+  };
+
   d.register_method("jobmon.info",
-                    [&service](const Array& params, const CallContext&) -> Result<Value> {
+                    [&service, admission, snapshot](const Array& params,
+                                                    const CallContext&) -> Result<Value> {
                       auto id = task_id_param(params, "jobmon.info");
                       if (!id.is_ok()) return id.status();
+                      if (admission && admission->browned_out()) {
+                        auto reports = snapshot();
+                        auto it = reports.find(id.value());
+                        if (it == reports.end()) {
+                          return not_found_error("no such task in snapshot: " + id.value());
+                        }
+                        Struct out = report_to_value(it->second).as_struct();
+                        out["stale"] = Value(true);
+                        return Value(std::move(out));
+                      }
                       auto report = service.info(id.value());
                       if (!report.is_ok()) return report.status();
-                      return report_to_value(report.value());
+                      Struct out = report_to_value(report.value()).as_struct();
+                      out["stale"] = Value(false);
+                      return Value(std::move(out));
                     });
 
   d.register_method("jobmon.status",
-                    [&service](const Array& params, const CallContext&) -> Result<Value> {
+                    [&service, admission, snapshot](const Array& params,
+                                                    const CallContext&) -> Result<Value> {
                       auto id = task_id_param(params, "jobmon.status");
                       if (!id.is_ok()) return id.status();
+                      if (admission && admission->browned_out()) {
+                        auto reports = snapshot();
+                        auto it = reports.find(id.value());
+                        if (it == reports.end()) {
+                          return not_found_error("no such task in snapshot: " + id.value());
+                        }
+                        return Value(
+                            std::string(exec::task_state_name(it->second.info.state)));
+                      }
                       auto s = service.status(id.value());
                       if (!s.is_ok()) return s.status();
                       return Value(std::move(s).value());
@@ -151,8 +213,17 @@ void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& s
       });
 
   d.register_method("jobmon.list",
-                    [&service](const Array&, const CallContext&) -> Result<Value> {
+                    [&service, admission, snapshot](const Array&,
+                                                    const CallContext&) -> Result<Value> {
                       Array out;
+                      if (admission && admission->browned_out()) {
+                        for (const auto& [id, report] : snapshot()) {
+                          Struct s = report_to_value(report).as_struct();
+                          s["stale"] = Value(true);
+                          out.emplace_back(std::move(s));
+                        }
+                        return Value(std::move(out));
+                      }
                       for (const auto& report : service.list_all()) {
                         out.push_back(report_to_value(report));
                       }

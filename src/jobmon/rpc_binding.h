@@ -17,8 +17,17 @@ rpc::Value report_to_value(const JobMonitorReport& report);
 /// queuePosition / progress / list on the host. The service must outlive
 /// the host. With a tracer/metrics each handler also records an "internal"
 /// span under service "jobmon" and jobmon.<method>.{calls,errors} counters.
+///
+/// With `admission` set, jobmon.info / status / list degrade under
+/// brownout: they serve from a bounded-staleness snapshot of every report
+/// (rebuilt at most once per staleness_ms), so monitoring reads stop
+/// fanning out to the execution services while the host sheds load. info
+/// responses carry stale=true/false; snapshot hits count
+/// jobmon.brownout_cached.
 void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& service,
                              telemetry::Tracer* tracer = nullptr,
-                             telemetry::MetricsRegistry* metrics = nullptr);
+                             telemetry::MetricsRegistry* metrics = nullptr,
+                             AdmissionController* admission = nullptr,
+                             int staleness_ms = 2000);
 
 }  // namespace gae::jobmon

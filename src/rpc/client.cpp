@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "rpc/deadline.h"
 #include "rpc/http.h"
 #include "rpc/jsonrpc.h"
 #include "rpc/server.h"  // fault-code <-> StatusCode mapping
@@ -189,15 +190,36 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params) {
 Result<Value> RpcClient::call(const std::string& method, const Array& params,
                               const CallOptions& options) {
   ++stats_.calls;
+  // Fresh traffic funds the retry budget; the deposit happens whether or
+  // not this call ever retries.
+  if (options.retry.budget) options.retry.budget->on_request();
   // One client span per logical call (retries included) — the Dapper shape:
   // the server hop becomes this span's child via the injected context.
   std::optional<telemetry::ScopedSpan> span;
   if (options_.tracer) {
     span.emplace(options_.tracer, options_.trace_service, method, "client");
   }
+
+  // The effective whole-call budget is the tighter of the explicit option
+  // and the thread's ambient deadline (what is left of the enclosing server
+  // call, when this client runs inside a handler).
+  int effective_deadline_ms = options.deadline_ms;
+  const int ambient_rem = ambient_deadline_remaining_ms();
+  if (ambient_rem == 0) {
+    ++stats_.deadline_exceeded;
+    ++stats_.failed_calls;
+    const Status s =
+        deadline_exceeded_error("ambient deadline expired before call: " + method);
+    if (span) span->set_status(s.code());
+    return s;
+  }
+  if (ambient_rem > 0 &&
+      (effective_deadline_ms <= 0 || ambient_rem < effective_deadline_ms)) {
+    effective_deadline_ms = ambient_rem;
+  }
   const SimTime deadline =
-      options.deadline_ms > 0
-          ? clock().now() + static_cast<SimTime>(options.deadline_ms) * 1000
+      effective_deadline_ms > 0
+          ? clock().now() + static_cast<SimTime>(effective_deadline_ms) * 1000
           : 0;
   const int max_attempts = std::max(1, options.retry.max_attempts);
   Status last = unavailable_error("rpc call made no attempts");
@@ -205,7 +227,7 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     ++stats_.attempts;
     bool wrote_request = false;
-    auto result = call_attempt(method, params, deadline, wrote_request);
+    auto result = call_attempt(method, params, deadline, options.tier, wrote_request);
     if (result.is_ok()) return result;
     last = result.status();
     if (last.code() == StatusCode::kDeadlineExceeded) ++stats_.deadline_exceeded;
@@ -221,24 +243,31 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
       break;
     }
     if (attempt >= max_attempts) break;
+    int backoff = options.retry.backoff_ms(attempt);
     if (deadline > 0) {
       const int rem = remaining_ms(deadline);
-      const int backoff = options.retry.backoff_ms(attempt);
-      if (rem <= 0 || backoff >= rem) {
+      if (rem <= 1) {
+        // No room for even a minimal next attempt.
         ++stats_.deadline_exceeded;
         last = deadline_exceeded_error("deadline budget exhausted after " +
                                        std::to_string(attempt) + " attempt(s): " + method);
         break;
       }
-      ++stats_.retries;
-      count_endpoint(connected_endpoint_, &EndpointCounters::retries);
-      if (backoff > 0) options_.sleep_ms(backoff);
-    } else {
-      ++stats_.retries;
-      count_endpoint(connected_endpoint_, &EndpointCounters::retries);
-      const int backoff = options.retry.backoff_ms(attempt);
-      if (backoff > 0) options_.sleep_ms(backoff);
+      // Clamp the sleep so backoff never overshoots the remaining budget:
+      // sleep at most rem-1 ms and leave at least 1 ms for the attempt
+      // itself. (Previously a backoff >= rem abandoned the call outright,
+      // wasting budget that a shorter sleep could have used.)
+      if (backoff >= rem) backoff = rem - 1;
     }
+    if (options.retry.budget && !options.retry.budget->try_retry()) {
+      ++stats_.retry_budget_exhausted;
+      last = resource_exhausted_error("retry budget exhausted for " + method + ": " +
+                                      last.message());
+      break;
+    }
+    ++stats_.retries;
+    count_endpoint(connected_endpoint_, &EndpointCounters::retries);
+    if (backoff > 0) options_.sleep_ms(backoff);
   }
   ++stats_.failed_calls;
   if (span) span->set_status(last.code());
@@ -246,17 +275,20 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
 }
 
 Result<Value> RpcClient::call_attempt(const std::string& method, const Array& params,
-                                      SimTime deadline, bool& wrote_request) {
+                                      SimTime deadline, Criticality tier,
+                                      bool& wrote_request) {
   const Status conn = ensure_connected();
   if (!conn.is_ok()) return conn;
   CircuitBreaker& breaker = *breakers_[connected_endpoint_];
   if (connected_endpoint_ != 0) ++stats_.failovers;
   count_endpoint(connected_endpoint_, &EndpointCounters::attempts);
 
+  int wire_deadline_ms = -1;
   if (deadline > 0) {
     const int rem = remaining_ms(deadline);
     if (rem <= 0) return deadline_exceeded_error("deadline expired before send: " + method);
     stream_.set_recv_timeout_ms(rem);
+    wire_deadline_ms = rem;
   } else {
     stream_.set_recv_timeout_ms(0);
   }
@@ -265,6 +297,11 @@ Result<Value> RpcClient::call_attempt(const std::string& method, const Array& pa
   req.method = "POST";
   req.path = "/rpc";
   req.headers["connection"] = "keep-alive";
+  // Remaining budget at send time plus the request tier, in their dedicated
+  // header slots; the server turns the budget back into an absolute deadline
+  // on its own clock and sheds by tier under overload.
+  req.deadline_ms = wire_deadline_ms;
+  req.tier = static_cast<int>(tier);
   if (!session_token_.empty()) req.headers["x-clarens-session"] = session_token_;
 
   // Propagate the ambient trace context (the enclosing ScopedSpan — this
@@ -307,6 +344,28 @@ Result<Value> RpcClient::call_attempt(const std::string& method, const Array& pa
   // The server answered; RPC faults below are its answer, not an outage.
   breaker.record_success();
   const http::Response resp = std::move(respr).value();
+
+  if (resp.status_code == 503) {
+    // Admission-control shed. The body carries a RESOURCE_EXHAUSTED fault in
+    // our own protocol; prefer its message, but classify the response as
+    // retryable-with-backoff even if the body is unparseable — a shed is
+    // load feedback, never a protocol error.
+    ++stats_.shed_rejections;
+    if (protocol_ == Protocol::kJsonRpc) {
+      auto decoded = jsonrpc::decode_response(resp.body);
+      if (decoded.is_ok() && decoded.value().is_fault) {
+        return Status(fault_code_to_status(decoded.value().fault_code),
+                      decoded.value().fault_string);
+      }
+    } else {
+      auto decoded = xmlrpc::decode_response(resp.body);
+      if (decoded.is_ok() && decoded.value().is_fault) {
+        return Status(fault_code_to_status(decoded.value().fault_code),
+                      decoded.value().fault_string);
+      }
+    }
+    return resource_exhausted_error("server shed request (503): " + method);
+  }
 
   if (protocol_ == Protocol::kJsonRpc) {
     auto decoded = jsonrpc::decode_response(resp.body);

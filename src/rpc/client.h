@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/admission.h"
 #include "common/clock.h"
 #include "common/retry.h"
 #include "common/status.h"
@@ -32,16 +33,25 @@ struct Endpoint {
 /// Per-call knobs. The deadline covers the whole call including retries and
 /// backoff sleeps; it is enforced on the wire via the socket receive timeout.
 struct CallOptions {
-  /// Whole-call budget in wall milliseconds; 0 = none.
+  /// Whole-call budget in wall milliseconds; 0 = none. Rides the
+  /// x-gae-deadline header as *remaining* milliseconds per attempt, so the
+  /// server can refuse work whose caller has already given up. Inside a
+  /// server handler the effective budget is additionally clamped to the
+  /// thread's ambient deadline (rpc/deadline.h) — a downstream hop never
+  /// gets more budget than is left of the upstream call.
   int deadline_ms = 0;
   /// Retry schedule for retryable transport errors (UNAVAILABLE,
   /// DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED). RPC faults from a live server
-  /// are never retried — the server answered.
+  /// are never retried — the server answered. When retry.budget is set,
+  /// each retry additionally needs a budget token (storm suppression).
   RetryPolicy retry;
   /// When false, an error after request bytes may have reached the server
   /// is returned as UNAVAILABLE instead of retried: the call might already
   /// have executed, and re-sending would double-apply it.
   bool idempotent = true;
+  /// Criticality stamped on the x-gae-tier header; overloaded servers shed
+  /// the least critical tiers first.
+  Criticality tier = Criticality::kStatus;
 };
 
 /// Client construction knobs.
@@ -95,6 +105,10 @@ struct RpcClientStats {
   std::uint64_t failed_calls = 0;
   /// Times the endpoint list was refreshed via resolve_endpoints.
   std::uint64_t reresolves = 0;
+  /// Retries suppressed because the shared RetryBudget was out of tokens.
+  std::uint64_t retry_budget_exhausted = 0;
+  /// 503 responses (the server shed the request under admission control).
+  std::uint64_t shed_rejections = 0;
 };
 
 class RpcClient {
@@ -158,7 +172,7 @@ class RpcClient {
   /// One wire attempt. Sets `wrote_request` once request bytes may have
   /// reached the server (the non-idempotent retry guard keys off this).
   Result<Value> call_attempt(const std::string& method, const Array& params,
-                             SimTime deadline, bool& wrote_request);
+                             SimTime deadline, Criticality tier, bool& wrote_request);
 
   /// Connects to the earliest endpoint whose breaker admits the call,
   /// failing over down the list. UNAVAILABLE when every endpoint is open

@@ -1,0 +1,42 @@
+#include "rpc/deadline.h"
+
+#include <chrono>
+
+namespace gae::rpc {
+
+namespace {
+
+thread_local std::int64_t g_ambient_deadline_us = 0;
+
+}  // namespace
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t ambient_deadline_us() { return g_ambient_deadline_us; }
+
+int ambient_deadline_remaining_ms() {
+  const std::int64_t deadline = g_ambient_deadline_us;
+  if (deadline == 0) return -1;
+  const std::int64_t remaining_us = deadline - steady_now_us();
+  if (remaining_us <= 0) return 0;
+  // Round down but never to 0 — 0 means expired, and a sub-millisecond
+  // budget is still a (barely) live one.
+  const std::int64_t ms = remaining_us / 1000;
+  return ms > 0 ? static_cast<int>(ms) : 1;
+}
+
+DeadlineScope::DeadlineScope(std::int64_t deadline_us)
+    : previous_(g_ambient_deadline_us) {
+  if (deadline_us != 0 &&
+      (previous_ == 0 || deadline_us < previous_)) {
+    g_ambient_deadline_us = deadline_us;
+  }
+}
+
+DeadlineScope::~DeadlineScope() { g_ambient_deadline_us = previous_; }
+
+}  // namespace gae::rpc

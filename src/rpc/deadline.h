@@ -1,0 +1,47 @@
+// End-to-end deadline propagation. A caller's whole-call budget rides the
+// x-gae-deadline header as *remaining milliseconds at send time* (an absolute
+// instant cannot cross machines without clock sync). Server-side, the
+// Dispatcher installs the arriving budget as the thread's ambient deadline;
+// any RpcClient call the handler makes clamps its own budget to what is left
+// of the ambient one, so the remaining budget — minus the time the handler
+// already spent — is what goes back on the wire for the downstream hop.
+//
+// The ambient mechanism mirrors the trace context in telemetry/trace.h: a
+// thread-local holding an absolute steady-clock instant, pushed by a scoped
+// RAII guard and read by the client at call time.
+#pragma once
+
+#include <cstdint>
+
+namespace gae::rpc {
+
+/// Monotonic microseconds (std::chrono::steady_clock). The deadline plane
+/// uses the steady clock rather than an injected Clock because it must agree
+/// across every component of a process — dispatcher, handler, client — and
+/// is never simulated (virtual-time tests script deadlines directly).
+std::int64_t steady_now_us();
+
+/// The calling thread's ambient deadline as an absolute steady instant
+/// (µs); 0 = no deadline in scope.
+std::int64_t ambient_deadline_us();
+
+/// Milliseconds left of the ambient deadline: -1 = no deadline in scope,
+/// 0 = expired, otherwise the remaining budget (rounded down, min 1).
+int ambient_deadline_remaining_ms();
+
+/// RAII: installs `deadline_us` (absolute steady µs) as the thread's ambient
+/// deadline for the scope's lifetime. 0 is a no-op; a nested scope can only
+/// tighten — the effective deadline is min(enclosing, installed).
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(std::int64_t deadline_us);
+  ~DeadlineScope();
+
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  std::int64_t previous_;
+};
+
+}  // namespace gae::rpc

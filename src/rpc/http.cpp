@@ -64,10 +64,31 @@ bool header_name_is(const std::string& line, std::size_t colon, const char* name
   return *name == '\0';
 }
 
+/// Parses the value in line[colon+1, end) as a non-negative decimal int
+/// (clamped to INT_MAX), ignoring surrounding whitespace. Allocation-free.
+/// Returns -1 on empty or non-numeric values — callers treat that as absent.
+int header_value_int(const std::string& line, std::size_t colon) {
+  std::size_t b = colon + 1, e = line.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
+  if (b == e) return -1;
+  long long value = 0;
+  for (std::size_t i = b; i < e; ++i) {
+    const char c = line[i];
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+    if (value > 2'000'000'000LL) return 2'000'000'000;
+  }
+  return static_cast<int>(value);
+}
+
 /// `trace_out`, when non-null, receives the x-gae-trace value directly and
-/// keeps that header out of the generic map (hot-path allocation trim).
+/// keeps that header out of the generic map (hot-path allocation trim); the
+/// same applies to `deadline_out` / `tier_out` for x-gae-deadline and
+/// x-gae-tier (request-only headers).
 Status parse_headers(std::istringstream& lines, std::map<std::string, std::string>& out,
-                     std::string* trace_out = nullptr) {
+                     std::string* trace_out = nullptr, int* deadline_out = nullptr,
+                     int* tier_out = nullptr) {
   std::string line;
   while (std::getline(lines, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -79,6 +100,14 @@ Status parse_headers(std::istringstream& lines, std::map<std::string, std::strin
       while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
       while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
       trace_out->assign(line, b, e - b);
+      continue;
+    }
+    if (deadline_out && header_name_is(line, colon, "x-gae-deadline")) {
+      *deadline_out = header_value_int(line, colon);
+      continue;
+    }
+    if (tier_out && header_name_is(line, colon, "x-gae-tier")) {
+      *tier_out = header_value_int(line, colon);
       continue;
     }
     out[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
@@ -145,7 +174,8 @@ Result<Request> read_request(net::TcpStream& stream, const ReadLimits& limits) {
   if (!(rl >> req.method >> req.path >> version)) {
     return invalid_argument_error("http: malformed request line: " + request_line);
   }
-  const Status hs = parse_headers(lines, req.headers, &req.trace);
+  const Status hs =
+      parse_headers(lines, req.headers, &req.trace, &req.deadline_ms, &req.tier);
   if (!hs.is_ok()) return hs;
 
   auto body = read_body(stream, std::move(head.value().spill), req.headers,
@@ -170,6 +200,8 @@ Status write_request(net::TcpStream& stream, const Request& req) {
   }
   if (!have_host) out << "host: localhost\r\n";
   if (!req.trace.empty()) out << "x-gae-trace: " << req.trace << "\r\n";
+  if (req.deadline_ms >= 0) out << "x-gae-deadline: " << req.deadline_ms << "\r\n";
+  if (req.tier >= 0) out << "x-gae-tier: " << req.tier << "\r\n";
   out << "content-length: " << req.body.size() << "\r\n";
   out << "\r\n" << req.body;
   return stream.write_all(out.str());

@@ -20,6 +20,12 @@ struct Request {
   /// several string temporaries per message. Set this instead of
   /// headers["x-gae-trace"]; readers find wire values here, never in the map.
   std::string trace;
+  /// The x-gae-deadline header (remaining whole-call budget in milliseconds
+  /// at send time), same dedicated-slot design as `trace`. -1 = absent.
+  int deadline_ms = -1;
+  /// The x-gae-tier header (request criticality, 0 = most critical). Same
+  /// dedicated-slot design. -1 = absent.
+  int tier = -1;
 
   std::string header(const std::string& key, const std::string& fallback = "") const;
   bool keep_alive() const;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "rpc/deadline.h"
 #include "rpc/http.h"
 #include "rpc/jsonrpc.h"
 #include "rpc/xmlrpc.h"
@@ -23,6 +24,7 @@ void Dispatcher::arm_method_metrics(const std::string& name, MethodEntry& entry)
   if (!metrics_) return;
   entry.calls = &metrics_->counter("rpc.server." + name + ".calls");
   entry.errors = &metrics_->counter("rpc.server." + name + ".errors");
+  entry.deadline_expired = &metrics_->counter("rpc.server." + name + ".deadline_expired");
   entry.in_flight = &metrics_->gauge("rpc.server." + name + ".in_flight");
   entry.latency = &metrics_->histogram("rpc.server." + name + ".latency_us");
 }
@@ -67,9 +69,29 @@ Result<Value> Dispatcher::dispatch(const std::string& method, const Array& param
     entry->calls->inc();
     entry->in_flight->add(1);
   }
+  // Decrement by RAII: a handler that throws something other than
+  // std::exception unwinds straight through the dispatch body below, and the
+  // gauge must not stay stuck high when it does.
+  struct InFlightGuard {
+    telemetry::Gauge* gauge;
+    ~InFlightGuard() {
+      if (gauge) gauge->add(-1);
+    }
+  } in_flight_guard{entry && entry->calls ? entry->in_flight : nullptr};
 
   auto result = [&]() -> Result<Value> {
     if (!entry) return not_found_error("no such method: " + method);
+    // Deadline plane: work whose whole-call budget is already spent is
+    // refused before interceptors or the handler run — the caller has given
+    // up on the answer, and computing it anyway deepens the overload.
+    if (ctx.deadline_us != 0 && steady_now_us() >= ctx.deadline_us) {
+      if (entry->deadline_expired) entry->deadline_expired->inc();
+      return deadline_exceeded_error("deadline expired before dispatch of " + method);
+    }
+    // Whatever budget remains becomes the thread's ambient deadline, so
+    // downstream RpcClient calls the handler makes forward only what is
+    // left of it (minus the time spent here) on their own wire headers.
+    DeadlineScope deadline_scope(ctx.deadline_us);
     for (const auto& interceptor : interceptors_) {
       const Status s = interceptor(method, ctx);
       if (!s.is_ok()) return s;
@@ -85,7 +107,6 @@ Result<Value> Dispatcher::dispatch(const std::string& method, const Array& param
   if (entry && entry->calls) {
     // The span (engaged whenever metrics are) already timed this dispatch.
     entry->latency->record(static_cast<std::uint64_t>(span->elapsed_us()));
-    entry->in_flight->add(-1);
     if (!result.is_ok()) entry->errors->inc();
   }
   if (span && !result.is_ok()) span->set_status(result.status().code());
@@ -111,6 +132,12 @@ Result<std::uint16_t> RpcServer::start() {
   listener_ = std::move(listener).value();
   port_ = listener_.port();
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  if (options_.metrics && options_.admission) {
+    shed_counter_ = &options_.metrics->counter("rpc.server.requests_shed");
+    queue_shed_counter_ = &options_.metrics->counter("rpc.server.queue_shed");
+    admission_limit_gauge_ = &options_.metrics->gauge("rpc.server.admission_limit");
+    brownout_gauge_ = &options_.metrics->gauge("rpc.server.brownout");
+  }
   running_.store(true);
   acceptor_ = std::thread([this] { accept_loop(); });
   return port_;
@@ -163,9 +190,13 @@ void RpcServer::accept_loop() {
       continue;  // stream destructor closes the socket
     }
     in_flight_.fetch_add(1, std::memory_order_relaxed);
+    // Stamp the accept instant: serve_connection charges the time the
+    // connection spends waiting for a worker against both the CoDel queue
+    // bound and the first request's deadline budget.
+    const std::int64_t accepted_at_us = steady_now_us();
     auto conn = std::make_shared<net::TcpStream>(std::move(stream).value());
-    const bool ok = pool_->submit([this, conn]() mutable {
-      serve_connection(std::move(*conn));
+    const bool ok = pool_->submit([this, conn, accepted_at_us]() mutable {
+      serve_connection(std::move(*conn), accepted_at_us);
       const auto remaining = in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1;
       if (options_.metrics) {
         options_.metrics->gauge("rpc.server.connections")
@@ -188,7 +219,7 @@ void RpcServer::accept_loop() {
   }
 }
 
-void RpcServer::serve_connection(net::TcpStream stream) {
+void RpcServer::serve_connection(net::TcpStream stream, std::int64_t accepted_at_us) {
   stream.set_no_delay(true);
   if (options_.recv_timeout_ms > 0) stream.set_recv_timeout_ms(options_.recv_timeout_ms);
   register_connection(stream.fd());
@@ -201,6 +232,7 @@ void RpcServer::serve_connection(net::TcpStream stream) {
   } deregister{this, stream.fd()};
 
   const http::ReadLimits limits{options_.max_header_bytes, options_.max_body_bytes};
+  bool first_request = true;
   while (running_.load()) {
     auto reqr = http::read_request(stream, limits);
     if (!reqr.is_ok()) {
@@ -229,9 +261,91 @@ void RpcServer::serve_connection(net::TcpStream stream) {
     // Trace context rides the x-gae-trace header; the body's reserved trace
     // field is the fallback for paths that strip transport headers.
     ctx.trace = std::move(req.trace);
+    ctx.tier = criticality_from_wire(req.tier);
+
+    // Deadline off the wire: remaining milliseconds at client send time. The
+    // first request on a connection additionally pays for the time its bytes
+    // sat in the acceptor queue — the budget kept draining while the
+    // connection waited for a worker, and the client-side clock that stamped
+    // the header cannot see that wait.
+    const std::int64_t picked_up_us = steady_now_us();
+    const std::int64_t queue_delay_us =
+        first_request && picked_up_us > accepted_at_us ? picked_up_us - accepted_at_us : 0;
+    if (req.deadline_ms >= 0) {
+      const std::int64_t budget_us =
+          static_cast<std::int64_t>(req.deadline_ms) * 1000 - queue_delay_us;
+      ctx.deadline_us = picked_up_us + (budget_us > 0 ? budget_us : 0);
+    }
 
     http::Response resp;
     resp.headers["content-type"] = is_json ? "application/json" : "text/xml";
+
+    // Admission: a first request whose connection sat in the acceptor queue
+    // past the CoDel bound is shed and its connection closed (closing is
+    // what drains the queue); every other request must take a concurrency
+    // ticket, refused by criticality tier once the limiter is at capacity.
+    bool shed = false;
+    bool close_after_shed = false;
+    bool holds_ticket = false;
+    if (options_.admission) {
+      if (first_request && options_.admission->queue_overloaded(
+                               static_cast<std::uint64_t>(queue_delay_us))) {
+        shed = true;
+        close_after_shed = true;
+        if (queue_shed_counter_) queue_shed_counter_->inc();
+      } else if (!options_.admission->try_admit(ctx.tier)) {
+        shed = true;
+      } else {
+        holds_ticket = true;
+      }
+    }
+    first_request = false;
+
+    if (shed) {
+      // A well-formed 503 fault in the request's own protocol: clients map
+      // it to RESOURCE_EXHAUSTED (retryable with backoff). Silently closing
+      // instead would read as a transport error and trigger immediate
+      // reconnect storms — the opposite of shedding.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_counter_) shed_counter_->inc();
+      const int fault = status_to_fault_code(StatusCode::kResourceExhausted);
+      const std::string msg = "server overloaded: request shed";
+      resp.status_code = 503;
+      resp.reason = "Service Unavailable";
+      resp.body = is_json ? jsonrpc::encode_fault(fault, msg, 0)
+                          : xmlrpc::encode_fault(fault, msg);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      const bool shed_keep_alive = keep_alive && !close_after_shed;
+      if (!http::write_response(stream, resp, shed_keep_alive).is_ok()) return;
+      if (!shed_keep_alive) return;
+      continue;
+    }
+
+    // Ticket released by RAII so a decode fault (no dispatch) cannot leak
+    // admission capacity.
+    struct Ticket {
+      AdmissionController* ctrl;
+      ~Ticket() {
+        if (ctrl) ctrl->release();
+      }
+    } ticket{holds_ticket ? options_.admission : nullptr};
+
+    // Dispatch timed at the admission layer: the sample feeds the AIMD
+    // limit, and the gauges publish the limit it settled on.
+    auto timed_dispatch = [&](const std::string& method, const Array& params) {
+      const std::int64_t start_us = steady_now_us();
+      auto result = dispatcher_->dispatch(method, params, ctx);
+      if (options_.admission) {
+        options_.admission->on_sample(
+            static_cast<std::uint64_t>(steady_now_us() - start_us), !result.is_ok());
+        if (admission_limit_gauge_) {
+          admission_limit_gauge_->set(
+              static_cast<std::int64_t>(options_.admission->limit()));
+          brownout_gauge_->set(options_.admission->browned_out() ? 1 : 0);
+        }
+      }
+      return result;
+    };
 
     if (is_json) {
       auto call = jsonrpc::decode_call(req.body);
@@ -240,7 +354,7 @@ void RpcServer::serve_connection(net::TcpStream stream) {
                                           call.status().message(), 0);
       } else {
         if (ctx.trace.empty()) ctx.trace = call.value().trace;
-        auto result = dispatcher_->dispatch(call.value().method, call.value().params, ctx);
+        auto result = timed_dispatch(call.value().method, call.value().params);
         resp.body = result.is_ok()
                         ? jsonrpc::encode_response(result.value(), call.value().id)
                         : jsonrpc::encode_fault(status_to_fault_code(result.status().code()),
@@ -253,7 +367,7 @@ void RpcServer::serve_connection(net::TcpStream stream) {
                                          call.status().message());
       } else {
         if (ctx.trace.empty()) ctx.trace = call.value().trace;
-        auto result = dispatcher_->dispatch(call.value().method, call.value().params, ctx);
+        auto result = timed_dispatch(call.value().method, call.value().params);
         resp.body = result.is_ok()
                         ? xmlrpc::encode_response(result.value())
                         : xmlrpc::encode_fault(status_to_fault_code(result.status().code()),

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/admission.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "net/socket.h"
@@ -37,6 +38,14 @@ struct CallContext {
   /// Propagated trace triple off the wire (x-gae-trace header, or the
   /// body's reserved trace field when the header is absent). "" = none.
   std::string trace;
+  /// Absolute steady-clock deadline (µs, per rpc/deadline.h) for this call;
+  /// 0 = none. Derived from the x-gae-deadline header. dispatch() rejects
+  /// already-expired work before the handler runs, and installs the rest as
+  /// the handler thread's ambient deadline so downstream client calls
+  /// inherit what is left of the budget.
+  std::int64_t deadline_us = 0;
+  /// Criticality off the x-gae-tier header; absent defaults to kStatus.
+  Criticality tier = Criticality::kStatus;
 };
 
 /// A method implementation. Return a Status error to send an RPC fault.
@@ -79,6 +88,7 @@ class Dispatcher {
     Method fn;
     telemetry::Counter* calls = nullptr;
     telemetry::Counter* errors = nullptr;
+    telemetry::Counter* deadline_expired = nullptr;
     telemetry::Gauge* in_flight = nullptr;
     telemetry::Histogram* latency = nullptr;
   };
@@ -115,6 +125,15 @@ struct ServerOptions {
   /// rpc.server.connections_{rejected,timed_out}. Per-method metrics live on
   /// the Dispatcher (set_telemetry). Must outlive the server.
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Adaptive per-request admission control. When set, every request must
+  /// take a ticket from the controller before its body is decoded; refused
+  /// requests get a well-formed 503 fault in the request's own protocol
+  /// (clients classify it RESOURCE_EXHAUSTED and retry with backoff) instead
+  /// of a silently dropped connection. The CoDel queue bound also engages:
+  /// connections that sat too long in the acceptor queue are answered with a
+  /// 503 and closed. The static max_in_flight connection cap still applies
+  /// as the outer backstop. Must outlive the server.
+  AdmissionController* admission = nullptr;
 };
 
 class RpcServer {
@@ -142,9 +161,13 @@ class RpcServer {
   /// Connections closed because the peer went silent past recv_timeout_ms.
   std::uint64_t connections_timed_out() const { return timeouts_.load(); }
 
+  /// Requests refused by the admission controller (per-request 503 sheds,
+  /// including CoDel queue sheds). 0 unless ServerOptions::admission is set.
+  std::uint64_t requests_shed() const { return shed_.load(); }
+
  private:
   void accept_loop();
-  void serve_connection(net::TcpStream stream);
+  void serve_connection(net::TcpStream stream, std::int64_t accepted_at_us);
 
   /// Live-connection registry so stop() can unblock workers parked in recv
   /// on kept-alive connections.
@@ -160,8 +183,15 @@ class RpcServer {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::size_t> in_flight_{0};
   std::uint16_t port_ = 0;
+  /// Pre-resolved admission telemetry (start() arms these when both metrics
+  /// and admission are configured) so the shed path never builds names.
+  telemetry::Counter* shed_counter_ = nullptr;
+  telemetry::Counter* queue_shed_counter_ = nullptr;
+  telemetry::Gauge* admission_limit_gauge_ = nullptr;
+  telemetry::Gauge* brownout_gauge_ = nullptr;
   std::mutex conns_mutex_;
   std::set<int> active_conns_;
 };

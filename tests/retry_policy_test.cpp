@@ -250,10 +250,14 @@ TEST(RpcClientRetryTest, DeadlineBudgetExhaustedUnderVirtualClock) {
   ASSERT_FALSE(r.is_ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
 
-  // Attempt 1 fails (connect refused), backoff 60ms fits the 100ms budget;
-  // attempt 2 fails and the next backoff (120ms) cannot fit the ~40ms left.
-  EXPECT_EQ(client.stats().attempts, 2u);
-  EXPECT_EQ(client.stats().retries, 1u);
+  // Attempt 1 fails (connect refused) at t=0, backoff 60ms fits the 100ms
+  // budget; attempt 2 fails at t=60 and the next backoff (120ms) overshoots
+  // the ~40ms left, so it is clamped to 39ms — leaving 1ms for attempt 3 at
+  // t=99, after which no further attempt fits. (The clamp means a backoff
+  // larger than the remaining budget shortens the sleep instead of
+  // abandoning budget the call could still use.)
+  EXPECT_EQ(client.stats().attempts, 3u);
+  EXPECT_EQ(client.stats().retries, 2u);
   EXPECT_GE(client.stats().deadline_exceeded, 1u);
   EXPECT_EQ(client.stats().failed_calls, 1u);
 }
