@@ -1,0 +1,192 @@
+// Failover ablation: availability gap and acknowledged-write loss across 30
+// seeded primary kills, sync vs async WAL shipping.
+//
+// Each trial runs an estimate-store primary replicating to one standby over
+// the in-process transport, kills the primary at a seeded point mid-workload,
+// then drives the failure detector + supervisor + registry primary lease on a
+// virtual clock until the standby is promoted. Reported per mode:
+//   - availability gap: virtual ms from the crash to a promoted, re-registered
+//     standby (detector TTL + restart backoff + lease-fencing wait + replay)
+//   - acked-write loss: writes acknowledged to the client that the promoted
+//     standby does NOT hold. Sync shipping must report 0 across all kills;
+//     async loses its buffered tail — that delta is the headline number.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "clarens/registry.h"
+#include "common/clock.h"
+#include "common/wal.h"
+#include "estimators/estimate_db.h"
+#include "ha/failover.h"
+#include "ha/replication.h"
+#include "supervision/failure_detector.h"
+#include "supervision/supervisor.h"
+
+using namespace gae;
+
+namespace {
+
+constexpr int kKills = 30;
+constexpr int kWorkloadWrites = 60;
+const SimDuration kBeat = from_millis(150);
+const SimDuration kDeathTtl = 3 * kBeat;  // dead_after_missed * interval
+
+struct Trial {
+  double gap_ms = 0;       // crash -> promotion, virtual ms
+  int acked = 0;           // writes acknowledged before the crash
+  int lost = 0;            // acked writes missing from the promoted standby
+  std::uint64_t epoch = 0; // fencing epoch after promotion
+};
+
+Trial run_trial(ha::ReplicationMode mode, int seed) {
+  Trial trial;
+
+  ManualClock clock;
+  clarens::RegistryOptions registry_options;
+  registry_options.default_ttl = kDeathTtl;
+  clarens::ServiceRegistry registry("arbiter", &clock, registry_options);
+
+  MemoryWalStorage primary_store, standby_store;
+  ha::StandbyReplica replica("estimates", &standby_store);
+  ha::LocalShipperTransport transport(&replica);
+  ha::ShipperOptions ship_options;
+  ship_options.mode = mode;
+  ship_options.batch_max_records = 8;  // async ships every 8 records
+  ha::LogShipper shipper("estimates", ship_options);
+  shipper.add_standby(&transport);
+
+  auto lease = registry.acquire_primary("estimates");
+  if (!lease.is_ok()) return trial;
+  shipper.set_epoch(lease.value().epoch);
+
+  ha::ReplicatedWalStorage replicated(&primary_store, &shipper);
+  Wal wal(&replicated);
+  estimators::EstimateDatabase primary(&wal);
+
+  supervision::FailureDetectorOptions detector_options;
+  detector_options.heartbeat_interval = kBeat;
+  detector_options.dead_after_missed = 3;
+  detector_options.dead_debounce_checks = 2;
+  supervision::FailureDetector detector(clock, detector_options);
+  detector.watch("estimates-primary");
+
+  supervision::SupervisorOptions supervisor_options;
+  supervisor_options.restart_backoff =
+      RetryPolicy{/*max_attempts=*/20, /*initial_backoff_ms=*/25,
+                  /*backoff_multiplier=*/1.5, /*max_backoff_ms=*/100,
+                  /*jitter_fraction=*/0.0, /*jitter_seed=*/1};
+  supervision::Supervisor supervisor(clock, supervisor_options);
+  supervisor.attach(detector);
+
+  Wal standby_wal(&standby_store);
+  estimators::EstimateDatabase standby_db(&standby_wal);
+  auto role = std::make_shared<ha::PrimaryRole>();
+  ha::PromotionOptions promotion;
+  promotion.registry = &registry;
+  promotion.service = "estimates";
+  promotion.self.name = "estimates";
+  promotion.self.host = "standby";
+  promotion.lease_ttl = kDeathTtl;
+  promotion.replica = &replica;
+  promotion.replay = [&] { return standby_db.recover(); };
+  promotion.role = role;
+  promotion.clock = &clock;
+  bool promoted = false;
+  supervisor.manage(ha::make_promotion_recipe(
+      "estimates-primary", promotion, [&](const ha::Promotion&) { promoted = true; }));
+
+  // Seeded kill point: somewhere in the middle of the workload.
+  const int kill_at = 10 + (seed * 7919) % (kWorkloadWrites - 20);
+
+  for (int i = 0; i < kill_at; ++i) {
+    primary.put("t" + std::to_string(i), 2.5 * i);
+    ++trial.acked;  // the store acknowledged the write to its caller
+    detector.heartbeat("estimates-primary");
+    clock.advance_by(from_millis(40));
+    (void)registry.renew_primary("estimates", lease.value().lease_id);
+  }
+
+  // CRASH: no more beats, renewals, or flushes. Drive the control plane.
+  const SimTime crash_at = clock.now();
+  while (!promoted && clock.now() - crash_at < 10 * kDeathTtl) {
+    clock.advance_by(from_millis(25));
+    detector.check();
+    supervisor.tick();
+    registry.sweep();
+  }
+  trial.gap_ms = to_seconds(clock.now() - crash_at) * 1000.0;
+  trial.epoch = registry.primary_epoch("estimates");
+
+  // Loss: acked writes the promoted standby does not hold.
+  int recovered = 0;
+  for (int i = 0; i < trial.acked; ++i) {
+    if (standby_db.get("t" + std::to_string(i)).is_ok()) ++recovered;
+  }
+  trial.lost = trial.acked - recovered;
+  return trial;
+}
+
+void report(const char* name, const std::vector<Trial>& trials) {
+  double gap_sum = 0, gap_max = 0;
+  int lost_total = 0, acked_total = 0, lossy_kills = 0;
+  for (const Trial& t : trials) {
+    gap_sum += t.gap_ms;
+    if (t.gap_ms > gap_max) gap_max = t.gap_ms;
+    lost_total += t.lost;
+    acked_total += t.acked;
+    if (t.lost > 0) ++lossy_kills;
+  }
+  std::printf("%-6s kills=%zu acked=%d lost=%d lossy_kills=%d "
+              "gap_mean=%.1fms gap_max=%.1fms\n",
+              name, trials.size(), acked_total, lost_total, lossy_kills,
+              gap_sum / static_cast<double>(trials.size()), gap_max);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Trial> sync_trials, async_trials;
+  std::vector<double> sync_gaps_us, async_gaps_us;
+  for (int seed = 0; seed < kKills; ++seed) {
+    sync_trials.push_back(run_trial(ha::ReplicationMode::kSync, seed));
+    async_trials.push_back(run_trial(ha::ReplicationMode::kAsync, seed));
+    sync_gaps_us.push_back(sync_trials.back().gap_ms * 1000.0);
+    async_gaps_us.push_back(async_trials.back().gap_ms * 1000.0);
+  }
+
+  std::printf("abl_failover: %d seeded primary kills, sync vs async shipping\n",
+              kKills);
+  report("sync", sync_trials);
+  report("async", async_trials);
+
+  int sync_lost = 0, async_lost = 0, sync_acked = 0, async_acked = 0;
+  for (const Trial& t : sync_trials) { sync_lost += t.lost; sync_acked += t.acked; }
+  for (const Trial& t : async_trials) { async_lost += t.lost; async_acked += t.acked; }
+
+  if (sync_lost != 0) {
+    std::fprintf(stderr, "FAIL: sync mode lost %d acked writes\n", sync_lost);
+    return 1;
+  }
+
+  const std::string json_path = gae::bench::bench_json_path(argc, argv);
+  if (!json_path.empty()) {
+    std::vector<gae::bench::Scenario> scenarios;
+    scenarios.push_back(gae::bench::summarize("failover_gap_sync", sync_gaps_us));
+    scenarios.push_back(gae::bench::summarize("failover_gap_async", async_gaps_us));
+    const std::vector<std::string> extras = {
+        "\"kills\": " + std::to_string(kKills),
+        "\"sync_acked_writes\": " + std::to_string(sync_acked),
+        "\"sync_acked_writes_lost\": " + std::to_string(sync_lost),
+        "\"async_acked_writes\": " + std::to_string(async_acked),
+        "\"async_acked_writes_lost\": " + std::to_string(async_lost),
+    };
+    if (!gae::bench::write_bench_json(json_path, "abl_failover", scenarios, extras)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

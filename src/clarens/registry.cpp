@@ -64,7 +64,84 @@ std::size_t ServiceRegistry::sweep() {
       ++it;
     }
   }
+  if (options_.tombstone_horizon > 0 && clock_) {
+    const SimTime now = clock_->now();
+    for (auto it = tombstones_.begin(); it != tombstones_.end();) {
+      if (it->second != kSimTimeNever &&
+          now - it->second >= options_.tombstone_horizon) {
+        ++tombstone_expirations_;
+        if (options_.metrics) {
+          options_.metrics->counter("clarens.registry.tombstones_expired").inc();
+        }
+        it = tombstones_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (options_.metrics) {
+    options_.metrics->gauge("clarens.registry.tombstones")
+        .set(static_cast<std::int64_t>(tombstones_.size()));
+  }
   return swept;
+}
+
+Result<PrimaryLease> ServiceRegistry::acquire_primary(const std::string& service,
+                                                      SimDuration ttl) {
+  if (ttl == 0) ttl = options_.default_ttl;
+  auto it = primaries_.find(service);
+  if (it != primaries_.end() && !primary_expired(it->second)) {
+    return already_exists_error("primary lease still live for: " + service);
+  }
+
+  PrimaryEntry entry;
+  entry.epoch = ++epochs_[service];
+  entry.lease_id = next_lease_id_++;
+  entry.ttl = ttl;
+  entry.expires_at = (ttl > 0 && clock_) ? clock_->now() + ttl : kSimTimeNever;
+  PrimaryLease lease{service, entry.epoch, entry.lease_id, entry.expires_at};
+  primaries_[service] = entry;
+  GAE_LOG_INFO << "registry " << host_name_ << ": primary lease for '" << service
+               << "' granted at epoch " << entry.epoch;
+  return lease;
+}
+
+Status ServiceRegistry::renew_primary(const std::string& service,
+                                      std::uint64_t lease_id) {
+  auto it = primaries_.find(service);
+  if (it == primaries_.end() || primary_expired(it->second)) {
+    return not_found_error("no live primary lease for: " + service);
+  }
+  if (it->second.lease_id != lease_id) {
+    return failed_precondition_error("stale primary lease for: " + service);
+  }
+  if (it->second.ttl > 0 && clock_) {
+    it->second.expires_at = clock_->now() + it->second.ttl;
+  }
+  return Status::ok();
+}
+
+Status ServiceRegistry::release_primary(const std::string& service,
+                                        std::uint64_t lease_id) {
+  auto it = primaries_.find(service);
+  if (it == primaries_.end()) {
+    return not_found_error("no primary lease for: " + service);
+  }
+  if (it->second.lease_id != lease_id) {
+    return failed_precondition_error("stale primary lease for: " + service);
+  }
+  primaries_.erase(it);
+  return Status::ok();
+}
+
+std::uint64_t ServiceRegistry::primary_epoch(const std::string& service) const {
+  auto it = epochs_.find(service);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+bool ServiceRegistry::primary_live(const std::string& service) const {
+  auto it = primaries_.find(service);
+  return it != primaries_.end() && !primary_expired(it->second);
 }
 
 Result<SimTime> ServiceRegistry::tombstone(const std::string& name) const {

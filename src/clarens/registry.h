@@ -23,6 +23,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "common/time_types.h"
+#include "telemetry/metrics.h"
 
 namespace gae::clarens {
 
@@ -39,6 +40,14 @@ struct RegistryOptions {
   /// Lease granted to registrations that do not name their own TTL.
   /// 0 = immortal entries (the pre-lease behaviour).
   SimDuration default_ttl = 0;
+  /// How long sweep() keeps a tombstone after the lease lapsed. Long-running
+  /// deployments churn through many short-lived service names; without a
+  /// horizon the tombstone set grows without bound. 0 = keep forever (the
+  /// historical behaviour).
+  SimDuration tombstone_horizon = 0;
+  /// When set, the registry counts clarens.registry.tombstones_expired and
+  /// keeps clarens.registry.tombstones current. Must outlive the registry.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// Proof of registration: renewals must present the lease id so a stale
@@ -47,6 +56,19 @@ struct Lease {
   std::string service;
   std::uint64_t id = 0;
   SimTime expires_at = kSimTimeNever;  // kSimTimeNever = immortal
+};
+
+/// Exclusive write-ownership of a replicated state machine. The epoch is a
+/// fencing token: it increases monotonically across acquisitions of the same
+/// name (never resets, even after expiry), so replicas can reject writes
+/// stamped with any epoch older than the newest they have seen — a deposed
+/// primary that is alive but partitioned cannot corrupt state it no longer
+/// owns.
+struct PrimaryLease {
+  std::string service;
+  std::uint64_t epoch = 0;
+  std::uint64_t lease_id = 0;
+  SimTime expires_at = kSimTimeNever;
 };
 
 class ServiceRegistry {
@@ -79,8 +101,34 @@ class ServiceRegistry {
 
   /// Moves lapsed entries to the tombstone set; returns how many expired.
   /// lookup/discover already skip lapsed entries, so sweeping is about
-  /// reclaiming memory and making expirations observable.
+  /// reclaiming memory and making expirations observable. Tombstones older
+  /// than options.tombstone_horizon are expired here too, so the set stays
+  /// bounded across long runs.
   std::size_t sweep();
+
+  // --- Primary leases (hot-standby failover) -------------------------------
+
+  /// Grants exclusive primaryship of `service` with a fresh (strictly
+  /// higher) epoch. ALREADY_EXISTS while another holder's primary lease is
+  /// still live — promotion has to wait out the old primary's lease, which
+  /// is what makes the epoch a fence rather than a race. `ttl` 0 uses the
+  /// registry default; without a clock, primary leases are immortal.
+  Result<PrimaryLease> acquire_primary(const std::string& service, SimDuration ttl = 0);
+
+  /// Heartbeat for a primary lease. NOT_FOUND when the lease lapsed (the
+  /// holder has been deposed and must stop writing); FAILED_PRECONDITION
+  /// when `lease_id` is stale (someone else acquired since).
+  Status renew_primary(const std::string& service, std::uint64_t lease_id);
+
+  /// Voluntarily gives up primaryship (clean shutdown / planned handover).
+  Status release_primary(const std::string& service, std::uint64_t lease_id);
+
+  /// Highest epoch ever granted for `service` (0 = never acquired). Replicas
+  /// use this to validate fencing tokens without holding the lease.
+  std::uint64_t primary_epoch(const std::string& service) const;
+
+  /// True while a primary lease for `service` is live.
+  bool primary_live(const std::string& service) const;
 
   /// Expiry instant of a tombstoned (lease-lapsed, swept) service;
   /// NOT_FOUND when the name is live or never registered.
@@ -99,6 +147,10 @@ class ServiceRegistry {
   std::uint64_t replacements() const { return replacements_; }
   /// Entries tombstoned by sweep() over the registry's lifetime.
   std::uint64_t expirations() const { return expirations_; }
+  /// Tombstones aged out past the horizon over the registry's lifetime.
+  std::uint64_t tombstone_expirations() const { return tombstone_expirations_; }
+  /// Tombstones currently held.
+  std::size_t tombstone_count() const { return tombstones_.size(); }
 
  private:
   struct Entry {
@@ -108,7 +160,19 @@ class ServiceRegistry {
     SimTime expires_at = kSimTimeNever;  // kSimTimeNever = immortal
   };
 
+  struct PrimaryEntry {
+    std::uint64_t epoch = 0;
+    std::uint64_t lease_id = 0;
+    SimDuration ttl = 0;
+    SimTime expires_at = kSimTimeNever;
+  };
+
   bool expired(const Entry& entry) const {
+    return entry.expires_at != kSimTimeNever && clock_ &&
+           clock_->now() >= entry.expires_at;
+  }
+
+  bool primary_expired(const PrimaryEntry& entry) const {
     return entry.expires_at != kSimTimeNever && clock_ &&
            clock_->now() >= entry.expires_at;
   }
@@ -124,10 +188,15 @@ class ServiceRegistry {
   RegistryOptions options_;
   std::map<std::string, Entry> services_;
   std::map<std::string, SimTime> tombstones_;  // name -> expiry instant
+  std::map<std::string, PrimaryEntry> primaries_;
+  /// Highest epoch ever granted per service — never reset, so fencing
+  /// tokens stay monotonic across arbitrarily many failovers.
+  std::map<std::string, std::uint64_t> epochs_;
   std::vector<const ServiceRegistry*> peers_;
   std::uint64_t next_lease_id_ = 1;
   std::uint64_t replacements_ = 0;
   std::uint64_t expirations_ = 0;
+  std::uint64_t tombstone_expirations_ = 0;
 };
 
 }  // namespace gae::clarens

@@ -15,6 +15,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kNotPrimary: return "NOT_PRIMARY";
   }
   return "UNKNOWN";
 }
@@ -39,5 +40,6 @@ Status unavailable_error(std::string msg) { return {StatusCode::kUnavailable, st
 Status deadline_exceeded_error(std::string msg) { return {StatusCode::kDeadlineExceeded, std::move(msg)}; }
 Status resource_exhausted_error(std::string msg) { return {StatusCode::kResourceExhausted, std::move(msg)}; }
 Status internal_error(std::string msg) { return {StatusCode::kInternal, std::move(msg)}; }
+Status not_primary_error(std::string msg) { return {StatusCode::kNotPrimary, std::move(msg)}; }
 
 }  // namespace gae

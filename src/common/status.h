@@ -24,6 +24,11 @@ enum class StatusCode {
   kDeadlineExceeded,
   kResourceExhausted,
   kInternal,
+  /// The callee is a replica that no longer (or does not yet) hold the
+  /// primary lease for the state it guards. The message carries a
+  /// "leader=host:port" hint when the callee knows who does; clients follow
+  /// the hint instead of charging the endpoint's circuit breaker.
+  kNotPrimary,
 };
 
 /// Human-readable name of a status code ("NOT_FOUND" etc.).
@@ -68,6 +73,7 @@ Status unavailable_error(std::string msg);
 Status deadline_exceeded_error(std::string msg);
 Status resource_exhausted_error(std::string msg);
 Status internal_error(std::string msg);
+Status not_primary_error(std::string msg);
 
 /// A value or an error. `Result<T> r = ...; if (r.is_ok()) use(r.value());`
 template <typename T>

@@ -4,6 +4,12 @@
 #include <cstdio>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define GAE_WAL_HAVE_FSYNC 1
+#endif
+
 namespace gae {
 
 namespace {
@@ -88,17 +94,72 @@ Result<std::string> FileWalStorage::read_all() const {
   return out;
 }
 
+namespace {
+
+/// Flushes a stdio stream to stable storage where the platform allows.
+Status flush_to_disk(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) return internal_error("wal flush failed: " + path);
+#ifdef GAE_WAL_HAVE_FSYNC
+  if (::fsync(::fileno(f)) != 0) return internal_error("wal fsync failed: " + path);
+#endif
+  return Status::ok();
+}
+
+/// Best-effort fsync of the directory holding `path`, so the rename that
+/// published a new log survives power loss too. Failure is not fatal — some
+/// filesystems refuse directory fsync — but the data-file fsync above
+/// already bounds the damage to "old log still present".
+void sync_parent_dir(const std::string& path) {
+#ifdef GAE_WAL_HAVE_FSYNC
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+Status FileWalStorage::sync() {
+  // Appends go through short-lived fopen("ab") handles that are flushed and
+  // closed per call; syncing re-opens the log and fsyncs its contents.
+#ifdef GAE_WAL_HAVE_FSYNC
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return Status::ok();  // no log yet: nothing to sync
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return internal_error("wal fsync failed: " + path_);
+#endif
+  return Status::ok();
+}
+
 Status FileWalStorage::replace(const std::string& bytes) {
+  // Snapshot + truncation must be atomic: write the new log to a temp file,
+  // force it to stable storage, then rename() over the old log. A crash
+  // before the rename leaves the old log intact (the stale .tmp is simply
+  // overwritten by the next replace); a crash after it leaves the complete
+  // new log — the fsync ordered the data before the publish.
   const std::string tmp = path_ + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return unavailable_error("cannot open wal tmp: " + tmp);
   const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fflush(f);
-  std::fclose(f);
-  if (n != bytes.size()) return internal_error("short wal tmp write: " + tmp);
+  if (n != bytes.size()) {
+    std::fclose(f);
+    return internal_error("short wal tmp write: " + tmp);
+  }
+  const Status flushed = flush_to_disk(f, tmp);
+  const bool closed = std::fclose(f) == 0;
+  if (!flushed.is_ok()) return flushed;
+  if (!closed) return internal_error("wal tmp close failed: " + tmp);
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     return internal_error("wal rename failed: " + tmp + " -> " + path_);
   }
+  sync_parent_dir(path_);
   return Status::ok();
 }
 

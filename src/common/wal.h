@@ -33,8 +33,14 @@ class WalStorage {
 
   virtual Status append(const std::string& bytes) = 0;
   virtual Result<std::string> read_all() const = 0;
-  /// Atomically replaces the whole log (snapshot + truncation).
+  /// Atomically replaces the whole log (snapshot + truncation). A crash at
+  /// any instant during replace() must leave either the complete old
+  /// contents or the complete new contents — never a torn mix; replay of a
+  /// torn snapshot would silently drop the entire history behind it.
   virtual Status replace(const std::string& bytes) = 0;
+  /// Flushes buffered writes to stable storage (fsync-equivalent). No-op for
+  /// storages with nothing to flush.
+  virtual Status sync() { return Status::ok(); }
 };
 
 /// In-memory storage for tests and simulation runs.
@@ -52,9 +58,12 @@ class MemoryWalStorage final : public WalStorage {
 };
 
 /// File-backed storage; appends are flushed so a crash loses at most the
-/// record being written, and replace() goes through rename() for atomicity.
-/// read_all() streams through a fixed buffer, so records larger than the
-/// buffer still round-trip.
+/// record being written, and replace() writes a temp file, fsyncs it, and
+/// rename()s it over the log — a crash anywhere in that sequence leaves the
+/// complete old log (rename never ran) or the complete new one (rename is
+/// atomic), closing the snapshot-then-truncate crash window. read_all()
+/// streams through a fixed buffer, so records larger than the buffer still
+/// round-trip.
 class FileWalStorage final : public WalStorage {
  public:
   explicit FileWalStorage(std::string path) : path_(std::move(path)) {}
@@ -62,6 +71,7 @@ class FileWalStorage final : public WalStorage {
   Status append(const std::string& bytes) override;
   Result<std::string> read_all() const override;
   Status replace(const std::string& bytes) override;
+  Status sync() override;
 
   const std::string& path() const { return path_; }
 

@@ -1,0 +1,120 @@
+#include "ha/failover.h"
+
+#include "common/log.h"
+
+namespace gae::ha {
+
+bool PrimaryRole::is_primary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return primary_;
+}
+
+std::uint64_t PrimaryRole::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::string PrimaryRole::leader_hint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return leader_hint_;
+}
+
+void PrimaryRole::make_primary(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  primary_ = true;
+  epoch_ = epoch;
+  leader_hint_.clear();
+}
+
+void PrimaryRole::depose(std::string leader_hint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  primary_ = false;
+  leader_hint_ = std::move(leader_hint);
+}
+
+std::string format_leader_hint(const std::string& host, std::uint16_t port) {
+  return host + ":" + std::to_string(port);
+}
+
+void install_fencing(rpc::Dispatcher& dispatcher, std::shared_ptr<PrimaryRole> role,
+                     std::vector<std::string> mutating_prefixes) {
+  dispatcher.add_interceptor(
+      [role = std::move(role), prefixes = std::move(mutating_prefixes)](
+          const std::string& method, const rpc::CallContext&) -> Status {
+        bool mutating = false;
+        for (const std::string& prefix : prefixes) {
+          if (method.rfind(prefix, 0) == 0) {
+            mutating = true;
+            break;
+          }
+        }
+        if (!mutating || role->is_primary()) return Status::ok();
+        std::string msg = "not the primary for " + method;
+        const std::string hint = role->leader_hint();
+        if (!hint.empty()) msg += " leader=" + hint;
+        return not_primary_error(msg);
+      });
+}
+
+Result<Promotion> promote_standby(const PromotionOptions& options) {
+  if (!options.registry) return invalid_argument_error("promotion needs a registry");
+  const SimTime started = options.clock ? options.clock->now() : 0;
+
+  // Replay before taking the lease: a standby whose log will not fold into
+  // live state must stay a standby (and keep replicating) rather than win
+  // primaryship it cannot serve.
+  if (options.replay) {
+    const Status replayed = options.replay();
+    if (!replayed.is_ok()) {
+      GAE_LOG_WARN << "ha: promotion replay failed for '" << options.service
+                   << "': " << replayed.to_string();
+      return replayed;
+    }
+  }
+
+  auto lease = options.registry->acquire_primary(options.service, options.lease_ttl);
+  if (!lease.is_ok()) return lease.status();  // old lease still live: retry later
+
+  Promotion promotion;
+  promotion.lease = lease.value();
+  if (options.replica) {
+    const Status fenced = options.replica->promote(promotion.lease.epoch);
+    if (!fenced.is_ok()) {
+      options.registry->release_primary(options.service, promotion.lease.lease_id);
+      return fenced;
+    }
+  }
+  if (options.role) options.role->make_primary(promotion.lease.epoch);
+  promotion.registration =
+      options.registry->register_service(options.self, options.lease_ttl);
+
+  if (options.metrics) {
+    options.metrics->gauge("ha." + options.service + ".epoch")
+        .set(static_cast<std::int64_t>(promotion.lease.epoch));
+    if (options.clock) {
+      const SimDuration took = options.clock->now() - started;
+      options.metrics->histogram("ha.promotion_ms")
+          .record(static_cast<std::uint64_t>(took < 0 ? 0 : took / 1000));
+    }
+  }
+  GAE_LOG_INFO << "ha: '" << options.service << "' promoted to primary at epoch "
+               << promotion.lease.epoch;
+  return promotion;
+}
+
+supervision::SupervisedService make_promotion_recipe(
+    std::string watched_name, PromotionOptions options,
+    std::function<void(const Promotion&)> on_promoted) {
+  supervision::SupervisedService service;
+  service.name = std::move(watched_name);
+  service.restart = [options = std::move(options),
+                     on_promoted = std::move(on_promoted)]() -> Status {
+    auto promoted = promote_standby(options);
+    if (!promoted.is_ok()) return promoted.status();
+    if (on_promoted) on_promoted(promoted.value());
+    return Status::ok();
+  };
+  return service;
+}
+
+}  // namespace gae::ha

@@ -1,0 +1,103 @@
+// Fenced failover: who is primary, how mutating RPCs are fenced while a
+// host is (or becomes) a standby, and the promotion recipe that turns a
+// standby into the new primary.
+//
+// The arbiter is the Clarens ServiceRegistry's primary lease. Promotion
+// cannot race the old primary: acquire_primary refuses while the old lease
+// is live, so the supervisor's backoff naturally waits out the lease TTL —
+// by the time the standby wins the lease, the old primary's epoch is
+// strictly older and every replica (and every fenced dispatcher) rejects
+// its writes with NOT_PRIMARY carrying a leader hint. Clients follow the
+// hint (RpcClient classifies NOT_PRIMARY specially: no breaker charge, no
+// blind retry) and traffic converges on the new primary.
+//
+// Promotion timeline (see DESIGN.md §5e for the full diagram):
+//   detector declares primary dead -> supervisor runs the promotion recipe
+//   -> replay the replicated log into live service state -> acquire the
+//   primary lease (epoch bump) -> fence the local replica -> re-register
+//   the service -> clients re-resolve / follow hints.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "clarens/host.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "ha/replication.h"
+#include "supervision/supervisor.h"
+#include "telemetry/metrics.h"
+
+namespace gae::ha {
+
+/// Shared flag a host consults on every mutating call: am I the primary
+/// for my service, and if not, who is? Thread-safe; one instance is shared
+/// between the fencing interceptor and the promotion/deposal paths.
+class PrimaryRole {
+ public:
+  bool is_primary() const;
+  std::uint64_t epoch() const;
+  /// "host:port" of the current leader ("" when unknown or when primary).
+  std::string leader_hint() const;
+
+  void make_primary(std::uint64_t epoch);
+  void depose(std::string leader_hint);
+
+ private:
+  mutable std::mutex mutex_;
+  bool primary_ = false;
+  std::uint64_t epoch_ = 0;
+  std::string leader_hint_;
+};
+
+/// "host:port" — the hint format NOT_PRIMARY faults embed ("leader=<hint>")
+/// and RpcClient's redirect parses back out.
+std::string format_leader_hint(const std::string& host, std::uint16_t port);
+
+/// Installs a dispatcher interceptor that rejects any method matching one
+/// of `mutating_prefixes` with NOT_PRIMARY (plus a leader hint when known)
+/// while `role` is not primary. Read-only methods keep working on a
+/// standby — stale reads are the documented trade.
+void install_fencing(rpc::Dispatcher& dispatcher, std::shared_ptr<PrimaryRole> role,
+                     std::vector<std::string> mutating_prefixes);
+
+/// Everything promote_standby needs. `replay` folds the replicated log
+/// into live service state (DBManager::recover, restore_from_journal, ...)
+/// and runs before the lease is taken — a standby that cannot replay must
+/// not win the lease.
+struct PromotionOptions {
+  clarens::ServiceRegistry* registry = nullptr;  // the arbiter (required)
+  std::string service;                           // primary-lease name
+  clarens::ServiceInfo self;                     // how the new primary registers
+  SimDuration lease_ttl = 0;                     // 0 = registry default
+  StandbyReplica* replica = nullptr;             // fenced after the epoch bump
+  std::function<Status()> replay;                // rebuild live state from the log
+  std::shared_ptr<PrimaryRole> role;             // flipped on success
+  telemetry::MetricsRegistry* metrics = nullptr; // ha.promotion_ms histogram
+  const Clock* clock = nullptr;                  // times the promotion
+};
+
+struct Promotion {
+  clarens::PrimaryLease lease;   // carries the new epoch
+  clarens::Lease registration;   // the re-registered service lease
+};
+
+/// One promotion attempt. ALREADY_EXISTS while the old primary's lease is
+/// still live — callers (the supervisor's restart backoff) retry until the
+/// lease lapses; that wait is the fencing window.
+Result<Promotion> promote_standby(const PromotionOptions& options);
+
+/// Packages promote_standby as a supervisor restart recipe: manage() this
+/// and attach the failure detector watching the primary's heartbeats, and
+/// a dead verdict drives promotion with backoff until the lease is won.
+/// `on_promoted` (optional) runs after a successful promotion — wire epoch
+/// adoption into shippers, flip client endpoints, etc.
+supervision::SupervisedService make_promotion_recipe(
+    std::string watched_name, PromotionOptions options,
+    std::function<void(const Promotion&)> on_promoted = {});
+
+}  // namespace gae::ha

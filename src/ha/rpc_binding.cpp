@@ -1,0 +1,160 @@
+#include "ha/rpc_binding.h"
+
+namespace gae::ha {
+
+using rpc::Array;
+using rpc::CallContext;
+using rpc::Struct;
+using rpc::Value;
+
+void StandbySet::add(StandbyReplica* replica) {
+  if (replica) replicas_[replica->stream()] = replica;
+}
+
+StandbyReplica* StandbySet::find(const std::string& stream) const {
+  auto it = replicas_.find(stream);
+  return it == replicas_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+Value ack_to_value(const ReplicaAck& ack) {
+  Struct out;
+  out["epoch"] = Value(static_cast<std::int64_t>(ack.epoch));
+  out["next_seq"] = Value(static_cast<std::int64_t>(ack.next_seq));
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+void register_ha_methods(clarens::ClarensHost& host, StandbySet& standbys) {
+  auto& d = host.dispatcher();
+  StandbySet* set = &standbys;
+
+  // ha.append(stream, epoch, base_seq, records, hex_bytes, crc,
+  //           leader_host, leader_port) -> {epoch, next_seq}
+  d.register_method(
+      "ha.append",
+      [set](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 8 || !params[0].is_string() || !params[1].is_number() ||
+            !params[2].is_number() || !params[3].is_number() || !params[4].is_string() ||
+            !params[5].is_number() || !params[6].is_string() || !params[7].is_number()) {
+          return invalid_argument_error(
+              "ha.append(stream, epoch, base_seq, records, hex_bytes, crc, "
+              "leader_host, leader_port)");
+        }
+        StandbyReplica* replica = set->find(params[0].as_string());
+        if (!replica) {
+          return not_found_error("not a standby for stream: " + params[0].as_string());
+        }
+        auto bytes = hex_decode(params[4].as_string());
+        if (!bytes.is_ok()) return bytes.status();
+        AppendBatch batch;
+        batch.stream = params[0].as_string();
+        batch.epoch = static_cast<std::uint64_t>(params[1].as_int());
+        batch.base_seq = static_cast<std::uint64_t>(params[2].as_int());
+        batch.records = static_cast<std::uint64_t>(params[3].as_int());
+        batch.bytes = std::move(bytes).value();
+        batch.crc = static_cast<std::uint32_t>(params[5].as_int());
+        batch.leader_host = params[6].as_string();
+        batch.leader_port = static_cast<std::uint16_t>(params[7].as_int());
+        auto ack = replica->apply_append(batch);
+        if (!ack.is_ok()) return ack.status();
+        return ack_to_value(ack.value());
+      });
+
+  // ha.snapshot(stream, epoch, next_seq, hex_bytes, crc,
+  //             leader_host, leader_port) -> {epoch, next_seq}
+  d.register_method(
+      "ha.snapshot",
+      [set](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 7 || !params[0].is_string() || !params[1].is_number() ||
+            !params[2].is_number() || !params[3].is_string() || !params[4].is_number() ||
+            !params[5].is_string() || !params[6].is_number()) {
+          return invalid_argument_error(
+              "ha.snapshot(stream, epoch, next_seq, hex_bytes, crc, "
+              "leader_host, leader_port)");
+        }
+        StandbyReplica* replica = set->find(params[0].as_string());
+        if (!replica) {
+          return not_found_error("not a standby for stream: " + params[0].as_string());
+        }
+        auto bytes = hex_decode(params[3].as_string());
+        if (!bytes.is_ok()) return bytes.status();
+        SnapshotInstall snap;
+        snap.stream = params[0].as_string();
+        snap.epoch = static_cast<std::uint64_t>(params[1].as_int());
+        snap.next_seq = static_cast<std::uint64_t>(params[2].as_int());
+        snap.bytes = std::move(bytes).value();
+        snap.crc = static_cast<std::uint32_t>(params[4].as_int());
+        snap.leader_host = params[5].as_string();
+        snap.leader_port = static_cast<std::uint16_t>(params[6].as_int());
+        auto ack = replica->install_snapshot(snap);
+        if (!ack.is_ok()) return ack.status();
+        return ack_to_value(ack.value());
+      });
+
+  // ha.status(stream) -> {epoch, next_seq}
+  d.register_method(
+      "ha.status",
+      [set](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 1 || !params[0].is_string()) {
+          return invalid_argument_error("ha.status(stream)");
+        }
+        StandbyReplica* replica = set->find(params[0].as_string());
+        if (!replica) {
+          return not_found_error("not a standby for stream: " + params[0].as_string());
+        }
+        return ack_to_value(replica->status());
+      });
+}
+
+RpcShipperTransport::RpcShipperTransport(rpc::RpcClient* client, int deadline_ms)
+    : client_(client) {
+  options_.deadline_ms = deadline_ms;
+  options_.idempotent = true;
+  options_.tier = Criticality::kControl;
+}
+
+Result<ReplicaAck> RpcShipperTransport::parse_ack(Result<rpc::Value> reply) {
+  if (!reply.is_ok()) return reply.status();
+  const Value& v = reply.value();
+  if (!v.is_struct()) return internal_error("malformed ha ack: " + v.debug_string());
+  ReplicaAck ack;
+  ack.epoch = static_cast<std::uint64_t>(v.get_int("epoch", 0));
+  ack.next_seq = static_cast<std::uint64_t>(v.get_int("next_seq", 0));
+  return ack;
+}
+
+Result<ReplicaAck> RpcShipperTransport::append(const AppendBatch& batch) {
+  Array params;
+  params.push_back(Value(batch.stream));
+  params.push_back(Value(static_cast<std::int64_t>(batch.epoch)));
+  params.push_back(Value(static_cast<std::int64_t>(batch.base_seq)));
+  params.push_back(Value(static_cast<std::int64_t>(batch.records)));
+  params.push_back(Value(hex_encode(batch.bytes)));
+  params.push_back(Value(static_cast<std::int64_t>(batch.crc)));
+  params.push_back(Value(batch.leader_host));
+  params.push_back(Value(static_cast<std::int64_t>(batch.leader_port)));
+  return parse_ack(client_->call("ha.append", params, options_));
+}
+
+Result<ReplicaAck> RpcShipperTransport::snapshot(const SnapshotInstall& snap) {
+  Array params;
+  params.push_back(Value(snap.stream));
+  params.push_back(Value(static_cast<std::int64_t>(snap.epoch)));
+  params.push_back(Value(static_cast<std::int64_t>(snap.next_seq)));
+  params.push_back(Value(hex_encode(snap.bytes)));
+  params.push_back(Value(static_cast<std::int64_t>(snap.crc)));
+  params.push_back(Value(snap.leader_host));
+  params.push_back(Value(static_cast<std::int64_t>(snap.leader_port)));
+  return parse_ack(client_->call("ha.snapshot", params, options_));
+}
+
+Result<ReplicaAck> RpcShipperTransport::status(const std::string& stream) {
+  Array params;
+  params.push_back(Value(stream));
+  return parse_ack(client_->call("ha.status", params, options_));
+}
+
+}  // namespace gae::ha

@@ -1,0 +1,61 @@
+// RPC plumbing for hot-standby replication: the ha.* method bindings a
+// standby host exposes, and the ShipperTransport that drives them from the
+// primary over the existing RpcClient (deadlines, retries, breakers and
+// NOT_PRIMARY classification all come for free).
+//
+// Wire shape: batch bytes are hex-encoded — the XML-RPC codec escapes only
+// <>& so raw WAL bytes cannot ride a string parameter — and the end-to-end
+// CRC travels alongside, so codec damage is caught at the replica.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "clarens/host.h"
+#include "common/status.h"
+#include "ha/replication.h"
+#include "rpc/client.h"
+
+namespace gae::ha {
+
+/// The streams one host is standby for (a host may back several services —
+/// jobmon, estimators, steering — each with its own replica).
+class StandbySet {
+ public:
+  /// Keyed by replica->stream(); last add wins. The replica must outlive
+  /// any dispatcher serving it.
+  void add(StandbyReplica* replica);
+  StandbyReplica* find(const std::string& stream) const;
+  std::size_t size() const { return replicas_.size(); }
+
+ private:
+  std::map<std::string, StandbyReplica*> replicas_;
+};
+
+/// Registers ha.append / ha.snapshot / ha.status on `host`. `standbys` must
+/// outlive the host's dispatcher.
+void register_ha_methods(clarens::ClarensHost& host, StandbySet& standbys);
+
+/// Ships batches to a remote standby over RPC. Appends and snapshot
+/// installs are idempotent at the replica (applied prefixes are skipped),
+/// so calls are marked idempotent and the client may retry them; they ride
+/// the control tier — replication traffic is what makes failover lossless,
+/// an overloaded standby must shed reads before it sheds these.
+class RpcShipperTransport final : public ShipperTransport {
+ public:
+  /// `client` must outlive the transport; `deadline_ms` bounds each
+  /// shipment call (retries included).
+  explicit RpcShipperTransport(rpc::RpcClient* client, int deadline_ms = 2000);
+
+  Result<ReplicaAck> append(const AppendBatch& batch) override;
+  Result<ReplicaAck> snapshot(const SnapshotInstall& snap) override;
+  Result<ReplicaAck> status(const std::string& stream) override;
+
+ private:
+  static Result<ReplicaAck> parse_ack(Result<rpc::Value> reply);
+
+  rpc::RpcClient* client_;
+  rpc::CallOptions options_;
+};
+
+}  // namespace gae::ha

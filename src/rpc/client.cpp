@@ -25,6 +25,29 @@ ClientOptions legacy_options() {
   return options;
 }
 
+/// Extracts the "leader=host:port" hint a replica embeds in a NOT_PRIMARY
+/// fault message. False when the message carries no (parseable) hint.
+bool parse_leader_hint(const std::string& message, std::string& host,
+                       std::uint16_t& port) {
+  const std::size_t at = message.find("leader=");
+  if (at == std::string::npos) return false;
+  std::size_t end = message.find_first_of(" ,;)", at + 7);
+  if (end == std::string::npos) end = message.size();
+  const std::string hint = message.substr(at + 7, end - at - 7);
+  const std::size_t colon = hint.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= hint.size()) return false;
+  int parsed = 0;
+  for (std::size_t i = colon + 1; i < hint.size(); ++i) {
+    if (hint[i] < '0' || hint[i] > '9') return false;
+    parsed = parsed * 10 + (hint[i] - '0');
+    if (parsed > 65535) return false;
+  }
+  if (parsed <= 0) return false;
+  host = hint.substr(0, colon);
+  port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
 }  // namespace
 
 RpcClient::RpcClient(std::string host, std::uint16_t port, Protocol protocol)
@@ -223,6 +246,7 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
           : 0;
   const int max_attempts = std::max(1, options.retry.max_attempts);
   Status last = unavailable_error("rpc call made no attempts");
+  int redirects = 0;  // NOT_PRIMARY leader hints followed this call
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     ++stats_.attempts;
@@ -231,6 +255,29 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
     if (result.is_ok()) return result;
     last = result.status();
     if (last.code() == StatusCode::kDeadlineExceeded) ++stats_.deadline_exceeded;
+
+    // A NOT_PRIMARY fault is an answer from a healthy replica, not an
+    // outage: the endpoint's breaker is not charged (call_attempt already
+    // recorded the success), and when the fault names the leader we follow
+    // the hint — put the leader first in the failover list and re-send.
+    // Bounded so two replicas pointing at each other cannot loop a call.
+    if (last.code() == StatusCode::kNotPrimary) {
+      std::string leader_host;
+      std::uint16_t leader_port = 0;
+      if (redirects < 2 && parse_leader_hint(last.message(), leader_host, leader_port)) {
+        ++redirects;
+        ++stats_.not_primary_redirects;
+        std::vector<Endpoint> reordered;
+        reordered.push_back({leader_host, leader_port});
+        for (const auto& e : endpoints_) {
+          if (e.host != leader_host || e.port != leader_port) reordered.push_back(e);
+        }
+        set_endpoints(std::move(reordered));
+        --attempt;  // the redirect does not consume a retry attempt
+        continue;
+      }
+      break;  // no hint (or hint chain too long): surface the fault
+    }
 
     // RPC faults and semantic errors are answers, not outages.
     if (!RetryPolicy::is_retryable(last.code())) break;

@@ -109,6 +109,9 @@ struct RpcClientStats {
   std::uint64_t retry_budget_exhausted = 0;
   /// 503 responses (the server shed the request under admission control).
   std::uint64_t shed_rejections = 0;
+  /// NOT_PRIMARY faults whose "leader=host:port" hint was followed (the
+  /// endpoint list was re-ordered and the call re-sent to the leader).
+  std::uint64_t not_primary_redirects = 0;
 };
 
 class RpcClient {

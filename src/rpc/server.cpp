@@ -117,7 +117,7 @@ int status_to_fault_code(StatusCode code) { return 100 + static_cast<int>(code);
 
 StatusCode fault_code_to_status(int fault_code) {
   const int raw = fault_code - 100;
-  if (raw < 0 || raw > static_cast<int>(StatusCode::kInternal)) return StatusCode::kInternal;
+  if (raw < 0 || raw > static_cast<int>(StatusCode::kNotPrimary)) return StatusCode::kInternal;
   return static_cast<StatusCode>(raw);
 }
 

@@ -37,6 +37,7 @@ void FailureDetector::heartbeat(const std::string& service) {
     return;
   }
   it->second.last_heartbeat = clock_.now();
+  it->second.dead_streak = 0;  // any sign of life restarts the debounce
 }
 
 int FailureDetector::missed_heartbeats(const std::string& service) const {
@@ -59,14 +60,30 @@ Liveness FailureDetector::grade(const WatchState& w) const {
 Liveness FailureDetector::liveness(const std::string& service) const {
   auto it = watched_.find(service);
   if (it == watched_.end()) return Liveness::kDead;
-  return grade(it->second);
+  const Liveness raw = grade(it->second);
+  // Mirror check()'s debounce: death is published by check(), so a dead
+  // grade that check() has not yet confirmed dead_debounce_checks times
+  // reads as suspect here too.
+  if (raw == Liveness::kDead &&
+      it->second.dead_streak < options_.dead_debounce_checks) {
+    return Liveness::kSuspect;
+  }
+  return raw;
 }
 
 std::vector<std::string> FailureDetector::check() {
   const SimTime now = clock_.now();
   std::vector<std::string> newly_dead;
   for (auto& [service, state] : watched_) {
-    const Liveness verdict = grade(state);
+    Liveness verdict = grade(state);
+    if (verdict == Liveness::kDead) {
+      ++state.dead_streak;
+      if (state.dead_streak < options_.dead_debounce_checks) {
+        verdict = Liveness::kSuspect;  // still debouncing
+      }
+    } else {
+      state.dead_streak = 0;
+    }
     if (monitoring_) {
       monitoring_->publish(service, "liveness", now, liveness_metric(verdict));
     }

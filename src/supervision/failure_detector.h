@@ -33,6 +33,13 @@ struct FailureDetectorOptions {
   int suspect_after_missed = 1;
   /// Missed heartbeats before a service is declared dead.
   int dead_after_missed = 3;
+  /// Consecutive check() passes that must independently grade a service dead
+  /// before the verdict is published. A flapping service — one heartbeat
+  /// squeaking through just as the deadline lapses — otherwise oscillates
+  /// dead/alive and triggers spurious restarts (or, worse, spurious standby
+  /// promotions). While debouncing, the published grade is suspect. 1 =
+  /// declare on the first dead grade (the historical behaviour).
+  int dead_debounce_checks = 1;
 };
 
 class FailureDetector {
@@ -72,6 +79,8 @@ class FailureDetector {
   struct WatchState {
     SimTime last_heartbeat = 0;
     Liveness last_grade = Liveness::kAlive;
+    /// Consecutive check() passes whose raw grade was dead (debounce state).
+    int dead_streak = 0;
   };
 
   Liveness grade(const WatchState& w) const;

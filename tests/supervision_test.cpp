@@ -16,6 +16,7 @@
 #include "rpc/server.h"
 #include "supervision/failure_detector.h"
 #include "supervision/supervisor.h"
+#include "telemetry/metrics.h"
 
 namespace gae {
 namespace {
@@ -118,6 +119,48 @@ TEST(RegistryLease, PeerLookupSkipsExpiredEntries) {
   clock.advance_by(from_seconds(10));
   EXPECT_FALSE(local.lookup("sphinx@b").is_ok());
   EXPECT_TRUE(local.discover("sphinx").empty());
+}
+
+TEST(RegistryLease, TombstoneHorizonBoundsTheGraveyard) {
+  ManualClock clock;
+  telemetry::MetricsRegistry metrics;
+  RegistryOptions options;
+  options.default_ttl = from_seconds(10);
+  options.tombstone_horizon = from_seconds(60);
+  options.metrics = &metrics;
+  ServiceRegistry reg("host", &clock, options);
+
+  // Churn through three short-lived service names.
+  for (int i = 0; i < 3; ++i) {
+    reg.register_service(info("ephemeral-" + std::to_string(i)));
+  }
+  clock.advance_by(from_seconds(10));  // all lapse
+  EXPECT_EQ(reg.sweep(), 3u);
+  EXPECT_EQ(reg.tombstone_count(), 3u);
+  EXPECT_EQ(metrics.snapshot().gauges.at("clarens.registry.tombstones"), 3);
+
+  // Within the horizon the tombstones persist (peers can still learn of the
+  // death); past it they are expired and counted.
+  clock.advance_by(from_seconds(59));
+  reg.sweep();
+  EXPECT_EQ(reg.tombstone_count(), 3u);
+  clock.advance_by(from_seconds(2));
+  reg.sweep();
+  EXPECT_EQ(reg.tombstone_count(), 0u);
+  EXPECT_EQ(reg.tombstone_expirations(), 3u);
+  auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("clarens.registry.tombstones_expired"), 3u);
+  EXPECT_EQ(snap.gauges.at("clarens.registry.tombstones"), 0);
+
+  // horizon = 0 keeps the historical keep-forever behaviour.
+  ServiceRegistry forever("host2", &clock, RegistryOptions{from_seconds(10)});
+  forever.register_service(info("pinned"));
+  clock.advance_by(from_seconds(10));
+  forever.sweep();
+  clock.advance_by(from_seconds(100'000));
+  forever.sweep();
+  EXPECT_EQ(forever.tombstone_count(), 1u);
+  EXPECT_EQ(forever.tombstone_expirations(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -252,6 +295,50 @@ TEST(FailureDetectorTest, VerdictListenerSeesTransitions) {
 
   detector.forget("svc");
   EXPECT_EQ(detector.watched_count(), 0u);
+}
+
+TEST(FailureDetectorTest, DebounceSuppressesFlappingDeathVerdicts) {
+  // A service whose heartbeat squeaks in just past the deadline grades dead
+  // on one check and alive on the next. Without debouncing every such flap
+  // fires a death verdict (and, downstream, a spurious standby promotion).
+  ManualClock clock;
+  supervision::FailureDetectorOptions options;
+  options.heartbeat_interval = from_seconds(5);
+  options.suspect_after_missed = 1;
+  options.dead_after_missed = 3;
+  options.dead_debounce_checks = 2;
+  supervision::FailureDetector detector(clock, options);
+  detector.watch("svc");
+
+  // Flap: silent long enough to grade dead, then the late beat lands.
+  clock.advance_by(from_seconds(16));  // three missed beats: raw-dead
+  EXPECT_TRUE(detector.check().empty());  // first dead grade is debounced
+  EXPECT_EQ(detector.liveness("svc"), supervision::Liveness::kSuspect);
+  detector.heartbeat("svc");  // the straggler arrives: streak resets
+  EXPECT_EQ(detector.liveness("svc"), supervision::Liveness::kAlive);
+  EXPECT_TRUE(detector.check().empty());
+
+  // Repeat the flap: still no death verdict — that's the hysteresis.
+  clock.advance_by(from_seconds(16));
+  EXPECT_TRUE(detector.check().empty());
+  detector.heartbeat("svc");
+  EXPECT_TRUE(detector.check().empty());
+
+  // A real death: two consecutive dead grades with no beat between them.
+  clock.advance_by(from_seconds(16));
+  EXPECT_TRUE(detector.check().empty());   // debounce check 1
+  auto dead = detector.check();            // debounce check 2: published
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], "svc");
+  EXPECT_EQ(detector.liveness("svc"), supervision::Liveness::kDead);
+}
+
+TEST(FailureDetectorTest, DefaultDebounceKeepsHistoricalSingleCheckDeath) {
+  ManualClock clock;
+  supervision::FailureDetector detector(clock, {from_seconds(5), 1, 3});
+  detector.watch("svc");
+  clock.advance_by(from_seconds(16));
+  EXPECT_EQ(detector.check().size(), 1u);  // dies on the first dead grade
 }
 
 // ---------------------------------------------------------------------------

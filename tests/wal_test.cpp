@@ -210,6 +210,65 @@ TEST(Wal, FileStorageReplaceIsEffective) {
   std::remove(path.c_str());
 }
 
+TEST(Wal, TornSnapshotFrameKeepsPriorRecords) {
+  // A snapshot that tears mid-frame (possible only with a non-atomic replace)
+  // must degrade to the pre-snapshot log prefix, never to an empty or corrupt
+  // store. decode() treats the partial snapshot frame as a torn tail.
+  MemoryWalStorage storage;
+  Wal wal(&storage);
+  ASSERT_TRUE(wal.append("rec-1").is_ok());
+  ASSERT_TRUE(wal.append("rec-2").is_ok());
+  const std::string pre_snapshot = storage.bytes();
+  const std::string snap_frame =
+      Wal::encode_frame(WalRecord::Type::kSnapshot, "folded-state");
+
+  for (std::size_t cut = 1; cut < snap_frame.size(); ++cut) {
+    WalReadResult log = Wal::decode(pre_snapshot + snap_frame.substr(0, cut));
+    ASSERT_EQ(log.records.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(log.records[1].payload, "rec-2");
+    EXPECT_TRUE(log.torn_tail) << "cut at " << cut;
+    EXPECT_EQ(log.replay_start(), 0u);  // fold replays the surviving prefix
+  }
+}
+
+TEST(Wal, FileStorageReplaceSurvivesStaleTmpFromCrashedSnapshot) {
+  // Crash window of save_snapshot(): the writer died after producing the
+  // .tmp but before the rename. The live log must read back untouched, and
+  // the next replace must succeed over the stale .tmp.
+  const std::string path = ::testing::TempDir() + "gae_wal_torn_snap.wal";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  FileWalStorage storage(path);
+  Wal wal(&storage);
+  ASSERT_TRUE(wal.append("pre-crash-1").is_ok());
+  ASSERT_TRUE(wal.append("pre-crash-2").is_ok());
+
+  // Simulated crash artifact: a half-written snapshot frame in the tmp file.
+  const std::string half =
+      Wal::encode_frame(WalRecord::Type::kSnapshot, "half-written");
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "wb");
+  ASSERT_NE(tmp, nullptr);
+  std::fwrite(half.data(), 1, half.size() / 2, tmp);
+  std::fclose(tmp);
+
+  // Recovery ignores the tmp entirely: the real log is intact.
+  auto read = wal.read();
+  ASSERT_TRUE(read.is_ok());
+  ASSERT_EQ(read.value().records.size(), 2u);
+  EXPECT_EQ(read.value().records[0].payload, "pre-crash-1");
+  EXPECT_FALSE(read.value().torn_tail);
+
+  // The next snapshot overwrites the stale tmp and lands atomically.
+  ASSERT_TRUE(wal.write_snapshot("clean-state").is_ok());
+  read = wal.read();
+  ASSERT_TRUE(read.is_ok());
+  ASSERT_EQ(read.value().records.size(), 1u);
+  EXPECT_EQ(read.value().records[0].type, WalRecord::Type::kSnapshot);
+  EXPECT_EQ(read.value().records[0].payload, "clean-state");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
 // ---------------------------------------------------------------------------
 // DBManager crash-consistency
 // ---------------------------------------------------------------------------
