@@ -74,12 +74,29 @@ Status MemoryWalStorage::replace(const std::string& bytes) {
 }
 
 Status FileWalStorage::append(const std::string& bytes) {
+  if (!writable()) {
+    return failed_precondition_error("wal storage latched read-only: " + path_);
+  }
   std::FILE* f = std::fopen(path_.c_str(), "ab");
   if (!f) return unavailable_error("cannot open wal for append: " + path_);
   const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fflush(f);
-  std::fclose(f);
-  if (n != bytes.size()) return internal_error("short wal write: " + path_);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (n != bytes.size()) {
+    // ENOSPC (or an I/O error) mid-frame: a torn tail is on media. Latch
+    // read-only so the next append cannot bury the tear mid-log, where
+    // recovery would drop everything behind it.
+    writable_.store(false, std::memory_order_release);
+    return resource_exhausted_error("short wal append (storage latched): wrote " +
+                                    std::to_string(n) + " of " +
+                                    std::to_string(bytes.size()) + " bytes: " + path_);
+  }
+  if (!flushed || !closed) {
+    // fsyncgate: after a failed flush the kernel may have dropped the dirty
+    // pages; what is on media is unknowable, so stop writing past it.
+    writable_.store(false, std::memory_order_release);
+    return internal_error("wal append flush failed (storage latched): " + path_);
+  }
   return Status::ok();
 }
 
@@ -133,7 +150,12 @@ Status FileWalStorage::sync() {
   if (fd < 0) return Status::ok();  // no log yet: nothing to sync
   const int rc = ::fsync(fd);
   ::close(fd);
-  if (rc != 0) return internal_error("wal fsync failed: " + path_);
+  if (rc != 0) {
+    // A failed fsync is not transient: the kernel may already have thrown
+    // away the dirty pages it could not write. Latch (fsyncgate).
+    writable_.store(false, std::memory_order_release);
+    return internal_error("wal fsync failed (storage latched): " + path_);
+  }
 #endif
   return Status::ok();
 }
@@ -160,6 +182,9 @@ Status FileWalStorage::replace(const std::string& bytes) {
     return internal_error("wal rename failed: " + tmp + " -> " + path_);
   }
   sync_parent_dir(path_);
+  // The whole file was rewritten and published atomically: whatever torn or
+  // unsyncable tail latched the storage is gone, so writes may resume.
+  writable_.store(true, std::memory_order_release);
   return Status::ok();
 }
 
@@ -233,11 +258,21 @@ Status Wal::write_snapshot(const std::string& payload) {
   return s;
 }
 
-Result<WalReadResult> Wal::read() const {
+Result<WalReadResult> Wal::read() const { return recover(nullptr); }
+
+Result<WalReadResult> Wal::recover(RecoverStats* stats) const {
   if (!storage_) return failed_precondition_error("wal has no storage");
   auto bytes = storage_->read_all();
   if (!bytes.is_ok()) return bytes.status();
-  return decode(bytes.value());
+  WalReadResult result = decode(bytes.value());
+  if (stats) {
+    stats->frames_kept = result.records.size();
+    stats->corrupt_frames = result.corrupt ? 1 : 0;
+    stats->bytes_truncated = bytes.value().size() - result.valid_bytes;
+    stats->torn_tail = result.torn_tail;
+    stats->corrupt = result.corrupt;
+  }
+  return result;
 }
 
 }  // namespace gae

@@ -11,6 +11,7 @@
 // and replay folds from the last snapshot forward.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -37,10 +38,22 @@ class WalStorage {
   /// any instant during replace() must leave either the complete old
   /// contents or the complete new contents — never a torn mix; replay of a
   /// torn snapshot would silently drop the entire history behind it.
+  /// Because it rewrites the whole medium, a successful replace() clears any
+  /// read-only latch (see writable()) — it is the repair path.
   virtual Status replace(const std::string& bytes) = 0;
   /// Flushes buffered writes to stable storage (fsync-equivalent). No-op for
   /// storages with nothing to flush.
   virtual Status sync() { return Status::ok(); }
+
+  /// False once the storage has latched itself read-only after a write
+  /// fault (short write, failed flush/fsync). Following fsyncgate
+  /// semantics, a failed fsync leaves the on-media tail unknowable, so
+  /// appends are refused until replace() rewrites the log wholesale (or
+  /// make_writable() is called after out-of-band repair).
+  virtual bool writable() const { return true; }
+  /// Clears the read-only latch. Only legitimate after the contents have
+  /// been re-established out of band; prefer replace(), which does both.
+  virtual void make_writable() {}
 };
 
 /// In-memory storage for tests and simulation runs.
@@ -64,6 +77,12 @@ class MemoryWalStorage final : public WalStorage {
 /// atomic), closing the snapshot-then-truncate crash window. read_all()
 /// streams through a fixed buffer, so records larger than the buffer still
 /// round-trip.
+///
+/// A short write (ENOSPC mid-frame) or failed flush/fsync latches the
+/// storage read-only: the tail on media is torn or unknowable, and blindly
+/// appending past it would bury the damage mid-log where recovery drops
+/// everything after it. A successful replace() re-establishes the whole
+/// file and clears the latch.
 class FileWalStorage final : public WalStorage {
  public:
   explicit FileWalStorage(std::string path) : path_(std::move(path)) {}
@@ -72,11 +91,14 @@ class FileWalStorage final : public WalStorage {
   Result<std::string> read_all() const override;
   Status replace(const std::string& bytes) override;
   Status sync() override;
+  bool writable() const override { return writable_.load(std::memory_order_acquire); }
+  void make_writable() override { writable_.store(true, std::memory_order_release); }
 
   const std::string& path() const { return path_; }
 
  private:
   std::string path_;
+  std::atomic<bool> writable_{true};
 };
 
 /// One decoded frame.
@@ -106,6 +128,27 @@ struct WalReadResult {
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 };
 
+/// What recovery dropped, so callers can report damage instead of silently
+/// keeping the valid prefix (storage::StoreHealth::note_recover publishes
+/// these as wal.<stream>.recover.* metrics).
+struct RecoverStats {
+  /// Frames in the valid prefix replay folds over.
+  std::size_t frames_kept = 0;
+  /// Damaged frames detected. Decoding stops at the first CRC mismatch, so
+  /// this is 0 or 1; anything behind the damage is unframeable and counts
+  /// toward bytes_truncated instead.
+  std::size_t corrupt_frames = 0;
+  /// Bytes past the valid prefix that replay dropped (torn tail and/or
+  /// everything from the first corrupt frame on).
+  std::size_t bytes_truncated = 0;
+  /// Incomplete final frame dropped (the normal crash artifact).
+  bool torn_tail = false;
+  /// A CRC mismatch stopped replay early.
+  bool corrupt = false;
+
+  bool clean() const { return !torn_tail && !corrupt; }
+};
+
 /// Append-only log of framed records over a WalStorage.
 class Wal {
  public:
@@ -119,6 +162,11 @@ class Wal {
 
   /// Decodes the whole log, torn-tail tolerant (see WalReadResult).
   Result<WalReadResult> read() const;
+
+  /// read() plus an accounting of what was dropped: fills `stats` (when
+  /// non-null) with the kept/truncated breakdown so recovery paths can
+  /// surface damage instead of swallowing it.
+  Result<WalReadResult> recover(RecoverStats* stats) const;
 
   /// Frames a record the way append() does (exposed for tests).
   static std::string encode_frame(WalRecord::Type type, const std::string& payload);

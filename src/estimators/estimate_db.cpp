@@ -28,25 +28,40 @@ std::string encode_del(const std::string& task_id) {
 }  // namespace
 
 void EstimateDatabase::put(const std::string& task_id, double estimated_runtime_seconds) {
+  if (health_ && !health_->writable()) {
+    GAE_LOG_WARN << "estimate db: dropping put for " << task_id << " ("
+                 << storage::store_state_name(health_->state()) << ")";
+    return;
+  }
   estimates_[task_id] = estimated_runtime_seconds;
   if (wal_) {
     const Status s = wal_->append(encode_put(task_id, estimated_runtime_seconds));
     if (!s.is_ok()) {
       GAE_LOG_WARN << "estimate db wal append failed: " << s.message();
+      if (health_) health_->mark_read_only("wal append failed: " + s.message());
     }
   }
 }
 
 void EstimateDatabase::erase(const std::string& task_id) {
+  if (health_ && !health_->writable()) {
+    GAE_LOG_WARN << "estimate db: dropping erase for " << task_id << " ("
+                 << storage::store_state_name(health_->state()) << ")";
+    return;
+  }
   if (estimates_.erase(task_id) > 0 && wal_) {
     const Status s = wal_->append(encode_del(task_id));
     if (!s.is_ok()) {
       GAE_LOG_WARN << "estimate db wal append failed: " << s.message();
+      if (health_) health_->mark_read_only("wal append failed: " + s.message());
     }
   }
 }
 
 Result<double> EstimateDatabase::get(const std::string& task_id) const {
+  if (health_ && !health_->readable()) {
+    return unavailable_error("estimate db quarantined: " + health_->reason());
+  }
   auto it = estimates_.find(task_id);
   if (it == estimates_.end()) return not_found_error("no estimate for task " + task_id);
   return it->second;
@@ -68,8 +83,10 @@ Status EstimateDatabase::save_snapshot() {
 
 Status EstimateDatabase::recover() {
   if (!wal_) return failed_precondition_error("estimate db has no wal");
-  auto read = wal_->read();
+  RecoverStats stats;
+  auto read = wal_->recover(&stats);
   if (!read.is_ok()) return read.status();
+  if (health_) health_->note_recover(stats);
   const WalReadResult& log = read.value();
 
   std::map<std::string, double> recovered;

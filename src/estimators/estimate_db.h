@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "common/wal.h"
+#include "storage/health.h"
 
 namespace gae::estimators {
 
@@ -23,10 +24,17 @@ class EstimateDatabase {
   /// Journals mutations to `wal` from now on (null detaches).
   void attach_wal(Wal* wal) { wal_ = wal; }
 
+  /// Degraded-mode gate (optional): mutations are dropped while the store
+  /// is not writable, get() refused while quarantined, failed appends latch
+  /// read-only, recover() reports drops through note_recover.
+  void attach_health(storage::StoreHealth* health) { health_ = health; }
+
   /// Stores (or overwrites) the submit-time runtime estimate for a task.
+  /// Dropped (with a log line) while the store is not writable.
   void put(const std::string& task_id, double estimated_runtime_seconds);
 
-  /// NOT_FOUND when no estimate was recorded for the task.
+  /// NOT_FOUND when no estimate was recorded for the task; UNAVAILABLE
+  /// while the store is quarantined.
   Result<double> get(const std::string& task_id) const;
 
   bool has(const std::string& task_id) const { return estimates_.count(task_id) != 0; }
@@ -44,6 +52,7 @@ class EstimateDatabase {
 
  private:
   Wal* wal_ = nullptr;
+  storage::StoreHealth* health_ = nullptr;
   std::map<std::string, double> estimates_;
 };
 

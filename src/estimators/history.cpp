@@ -48,9 +48,17 @@ Result<HistoryEntry> decode_history_entry(const std::string& line) {
 }
 
 void TaskHistoryStore::add(HistoryEntry entry) {
+  if (health_ && !health_->writable()) {
+    GAE_LOG_WARN << "history store: dropping sample ("
+                 << storage::store_state_name(health_->state()) << ")";
+    return;
+  }
   if (wal_) {
     const Status s = wal_->append(encode_history_entry(entry));
-    if (!s.is_ok()) GAE_LOG_WARN << "history wal append failed: " << s.message();
+    if (!s.is_ok()) {
+      GAE_LOG_WARN << "history wal append failed: " << s.message();
+      if (health_) health_->mark_read_only("wal append failed: " + s.message());
+    }
   }
   entries_.push_back(std::move(entry));
   if (max_entries_ > 0 && entries_.size() > max_entries_) {
@@ -75,8 +83,10 @@ Status TaskHistoryStore::save_snapshot() {
 
 Status TaskHistoryStore::recover() {
   if (!wal_) return failed_precondition_error("history store has no wal");
-  auto read = wal_->read();
+  RecoverStats stats;
+  auto read = wal_->recover(&stats);
   if (!read.is_ok()) return read.status();
+  if (health_) health_->note_recover(stats);
   const WalReadResult& log = read.value();
 
   // Replay into a detached store so a mid-replay failure leaves this one

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/time_types.h"
 #include "common/wal.h"
+#include "storage/health.h"
 
 namespace gae::estimators {
 
@@ -34,6 +35,11 @@ class TaskHistoryStore {
   /// making the decentralised site history crash-consistent.
   void attach_wal(Wal* wal) { wal_ = wal; }
 
+  /// Degraded-mode gate (optional): add() drops samples while the store is
+  /// not writable, failed appends latch read-only, recover() reports drops
+  /// through note_recover.
+  void attach_health(storage::StoreHealth* health) { health_ = health; }
+
   void add(HistoryEntry entry);
 
   std::size_t size() const { return entries_.size(); }
@@ -55,6 +61,7 @@ class TaskHistoryStore {
  private:
   std::size_t max_entries_;
   Wal* wal_ = nullptr;
+  storage::StoreHealth* health_ = nullptr;
   std::vector<HistoryEntry> entries_;  // oldest first
 };
 

@@ -136,6 +136,31 @@ ReplicaAck StandbyReplica::status() const {
   return ReplicaAck{epoch_, next_seq_};
 }
 
+Result<SnapshotInstall> StandbyReplica::export_log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto bytes = storage_->read_all();
+  if (!bytes.is_ok()) {
+    return Status(bytes.status().code(),
+                  "standby log unreadable for stream " + stream_ + ": " +
+                      bytes.status().message());
+  }
+  // A rotten donor must not heal anyone: verify framing before exporting.
+  const WalReadResult decoded = Wal::decode(bytes.value());
+  if (decoded.corrupt || decoded.torn_tail) {
+    return failed_precondition_error(
+        "standby log for stream " + stream_ + " fails verification (" +
+        std::to_string(bytes.value().size() - decoded.valid_bytes) +
+        " damaged bytes)");
+  }
+  SnapshotInstall snap;
+  snap.stream = stream_;
+  snap.epoch = epoch_;
+  snap.next_seq = next_seq_;
+  snap.bytes = std::move(bytes).value();
+  snap.crc = crc32(snap.bytes);
+  return snap;
+}
+
 Status StandbyReplica::promote(std::uint64_t new_epoch) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (new_epoch <= epoch_) {

@@ -91,6 +91,13 @@ class ShipperTransport {
   virtual Result<ReplicaAck> append(const AppendBatch& batch) = 0;
   virtual Result<ReplicaAck> snapshot(const SnapshotInstall& snap) = 0;
   virtual Result<ReplicaAck> status(const std::string& stream) = 0;
+  /// Pulls the standby's full log back — gap-resync in reverse, used by the
+  /// self-healing repair path (storage/repair.h) when the *primary's* disk
+  /// is the casualty. Defaulted so existing transports keep compiling;
+  /// transports that can serve repair override it.
+  virtual Result<SnapshotInstall> fetch(const std::string& stream) {
+    return failed_precondition_error("transport cannot serve fetch: " + stream);
+  }
 };
 
 /// The receiving half: applies shipped batches to its own WalStorage.
@@ -114,6 +121,11 @@ class StandbyReplica {
   Result<ReplicaAck> install_snapshot(const SnapshotInstall& snap);
 
   ReplicaAck status() const;
+
+  /// Exports the standby's full log as a verified image (CRC stamped, epoch
+  /// and next_seq filled in) — the donor side of primary repair. The caller
+  /// re-verifies the CRC and per-frame framing before installing.
+  Result<SnapshotInstall> export_log() const;
 
   /// Fences every epoch below `new_epoch`: called on promotion, after the
   /// standby replayed its log into live service state. FAILED_PRECONDITION
@@ -257,6 +269,9 @@ class LocalShipperTransport final : public ShipperTransport {
   Result<ReplicaAck> status(const std::string&) override {
     return replica_->status();
   }
+  Result<SnapshotInstall> fetch(const std::string&) override {
+    return replica_->export_log();
+  }
 
  private:
   StandbyReplica* replica_;
@@ -283,6 +298,8 @@ class ReplicatedWalStorage final : public WalStorage {
   Result<std::string> read_all() const override { return inner_->read_all(); }
   Status replace(const std::string& bytes) override;
   Status sync() override { return inner_->sync(); }
+  bool writable() const override { return inner_->writable(); }
+  void make_writable() override { inner_->make_writable(); }
 
  private:
   WalStorage* inner_;

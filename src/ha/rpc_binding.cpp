@@ -107,6 +107,28 @@ void register_ha_methods(clarens::ClarensHost& host, StandbySet& standbys) {
         }
         return ack_to_value(replica->status());
       });
+
+  // ha.fetch(stream) -> {epoch, next_seq, hex_bytes, crc} — the standby
+  // exports its verified log so a damaged primary can repair itself.
+  d.register_method(
+      "ha.fetch",
+      [set](const Array& params, const CallContext&) -> Result<Value> {
+        if (params.size() != 1 || !params[0].is_string()) {
+          return invalid_argument_error("ha.fetch(stream)");
+        }
+        StandbyReplica* replica = set->find(params[0].as_string());
+        if (!replica) {
+          return not_found_error("not a standby for stream: " + params[0].as_string());
+        }
+        auto snap = replica->export_log();
+        if (!snap.is_ok()) return snap.status();
+        Struct out;
+        out["epoch"] = Value(static_cast<std::int64_t>(snap.value().epoch));
+        out["next_seq"] = Value(static_cast<std::int64_t>(snap.value().next_seq));
+        out["hex_bytes"] = Value(hex_encode(snap.value().bytes));
+        out["crc"] = Value(static_cast<std::int64_t>(snap.value().crc));
+        return Value(std::move(out));
+      });
 }
 
 RpcShipperTransport::RpcShipperTransport(rpc::RpcClient* client, int deadline_ms)
@@ -155,6 +177,26 @@ Result<ReplicaAck> RpcShipperTransport::status(const std::string& stream) {
   Array params;
   params.push_back(Value(stream));
   return parse_ack(client_->call("ha.status", params, options_));
+}
+
+Result<SnapshotInstall> RpcShipperTransport::fetch(const std::string& stream) {
+  Array params;
+  params.push_back(Value(stream));
+  auto reply = client_->call("ha.fetch", params, options_);
+  if (!reply.is_ok()) return reply.status();
+  const Value& v = reply.value();
+  if (!v.is_struct()) {
+    return internal_error("malformed ha.fetch reply: " + v.debug_string());
+  }
+  auto bytes = hex_decode(v.get_string("hex_bytes", ""));
+  if (!bytes.is_ok()) return bytes.status();
+  SnapshotInstall snap;
+  snap.stream = stream;
+  snap.epoch = static_cast<std::uint64_t>(v.get_int("epoch", 0));
+  snap.next_seq = static_cast<std::uint64_t>(v.get_int("next_seq", 0));
+  snap.bytes = std::move(bytes).value();
+  snap.crc = static_cast<std::uint32_t>(v.get_int("crc", 0));
+  return snap;
 }
 
 }  // namespace gae::ha

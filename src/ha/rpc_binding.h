@@ -50,6 +50,9 @@ class RpcShipperTransport final : public ShipperTransport {
   Result<ReplicaAck> append(const AppendBatch& batch) override;
   Result<ReplicaAck> snapshot(const SnapshotInstall& snap) override;
   Result<ReplicaAck> status(const std::string& stream) override;
+  /// Pulls the standby's verified full log (ha.fetch) — the donor call of
+  /// the storage repair path.
+  Result<SnapshotInstall> fetch(const std::string& stream) override;
 
  private:
   static Result<ReplicaAck> parse_ack(Result<rpc::Value> reply);

@@ -145,6 +145,14 @@ Result<std::pair<std::string, JobRecord>> decode_job_record(const std::string& l
 
 void DBManager::update(const std::string& task_id, const exec::TaskInfo& info,
                        const std::string& site, SimTime now) {
+  if (health_ && !health_->writable()) {
+    // Applying in memory what cannot be journaled forks memory from disk;
+    // the record stays at its last durable state until repair.
+    GAE_LOG_WARN << "jobmon: dropping update for " << task_id << " ("
+                 << storage::store_state_name(health_->state())
+                 << "): " << health_->reason();
+    return;
+  }
   JobRecord& rec = records_[task_id];
   const bool state_changed = rec.updated_at == 0 || rec.info.state != info.state;
   rec.info = info;
@@ -155,6 +163,7 @@ void DBManager::update(const std::string& task_id, const exec::TaskInfo& info,
     const Status s = wal_->append(encode_job_record(task_id, rec));
     if (!s.is_ok()) {
       GAE_LOG_WARN << "jobmon wal append failed for " << task_id << ": " << s.message();
+      if (health_) health_->mark_read_only("wal append failed: " + s.message());
     }
   }
 
@@ -171,6 +180,9 @@ void DBManager::update(const std::string& task_id, const exec::TaskInfo& info,
 }
 
 Result<JobRecord> DBManager::get(const std::string& task_id) const {
+  if (health_ && !health_->readable()) {
+    return unavailable_error("jobmon store quarantined: " + health_->reason());
+  }
   auto it = records_.find(task_id);
   if (it == records_.end()) return not_found_error("no record for task " + task_id);
   return it->second;
@@ -199,8 +211,10 @@ Status DBManager::save_snapshot() {
 
 Status DBManager::recover() {
   if (!wal_) return failed_precondition_error("jobmon db has no wal");
-  auto read = wal_->read();
+  RecoverStats stats;
+  auto read = wal_->recover(&stats);
   if (!read.is_ok()) return read.status();
+  if (health_) health_->note_recover(stats);
   const WalReadResult& log = read.value();
 
   std::map<std::string, JobRecord> recovered;

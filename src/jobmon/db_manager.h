@@ -16,6 +16,7 @@
 #include "common/wal.h"
 #include "exec/job.h"
 #include "monalisa/repository.h"
+#include "storage/health.h"
 
 namespace gae::jobmon {
 
@@ -38,12 +39,22 @@ class DBManager {
   explicit DBManager(monalisa::Repository* monitoring, Wal* wal = nullptr)
       : monitoring_(monitoring), wal_(wal) {}
 
+  /// Degraded-mode gate (optional; must outlive this). When attached,
+  /// mutations are refused while the store is read-only or quarantined,
+  /// get() is refused while quarantined (the in-memory view may be
+  /// poisoned), a failed WAL append latches the store read-only, and
+  /// recover() reports what it dropped through StoreHealth::note_recover.
+  void attach_health(storage::StoreHealth* health) { health_ = health; }
+
   /// Inserts or refreshes a record, journals the update, and publishes the
-  /// state to MonALISA.
+  /// state to MonALISA. Dropped (with a log line) while the store is not
+  /// writable — an un-journalable update must not fork memory from disk.
   void update(const std::string& task_id, const exec::TaskInfo& info,
               const std::string& site, SimTime now);
 
-  /// NOT_FOUND when the repository has no record of the task.
+  /// NOT_FOUND when the repository has no record of the task; UNAVAILABLE
+  /// while the store is quarantined (integrity damage: the view cannot be
+  /// trusted until repair).
   Result<JobRecord> get(const std::string& task_id) const;
 
   std::vector<JobRecord> all() const;
@@ -67,6 +78,7 @@ class DBManager {
  private:
   monalisa::Repository* monitoring_;
   Wal* wal_;
+  storage::StoreHealth* health_ = nullptr;
   std::map<std::string, JobRecord> records_;
 };
 

@@ -159,4 +159,31 @@ Result<std::vector<JournalRecord>> read_journal_file(const std::string& path,
   return parse_journal(lines, tolerate_trailing_garbage);
 }
 
+Status WalJournalSink::append(const std::string& line) {
+  if (!wal_) return failed_precondition_error("journal sink has no wal");
+  return wal_->append(line);
+}
+
+Result<std::vector<std::string>> journal_lines_from_wal(const Wal& wal) {
+  auto read = wal.read();
+  if (!read.is_ok()) return read.status();
+  const WalReadResult& log = read.value();
+
+  std::vector<std::string> lines;
+  std::size_t at = log.replay_start();
+  if (at < log.records.size() &&
+      log.records[at].type == WalRecord::Type::kSnapshot) {
+    std::istringstream in(log.records[at].payload);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    ++at;
+  }
+  for (; at < log.records.size(); ++at) {
+    lines.push_back(log.records[at].payload);
+  }
+  return lines;
+}
+
 }  // namespace gae::steering

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/wal.h"
 
 namespace gae::steering {
 
@@ -57,6 +58,29 @@ class FileJournalSink final : public JournalSink {
   std::string path_;
   void* file_ = nullptr;  // FILE*, kept out of the header
 };
+
+/// CRC-framed sink: each journal line rides one common::Wal record, which
+/// buys steering's recovery journal torn-tail detection on replay, a
+/// scrubbable on-disk format (storage/scrubber.h watches the same Wal), and
+/// standby replication by wrapping the Wal's storage — none of which the
+/// raw line-per-line FileJournalSink offers. A failed append surfaces to
+/// the caller; the underlying storage latches itself.
+class WalJournalSink final : public JournalSink {
+ public:
+  /// `wal` must outlive the sink.
+  explicit WalJournalSink(Wal* wal) : wal_(wal) {}
+
+  Status append(const std::string& line) override;
+
+ private:
+  Wal* wal_;
+};
+
+/// Decodes a journal Wal (frames written by WalJournalSink) back into the
+/// lines restore_from_journal replays. Folds from the last snapshot (its
+/// payload is the newline-joined lines) plus the record tail; a torn final
+/// frame is dropped as the usual crash artifact.
+Result<std::vector<std::string>> journal_lines_from_wal(const Wal& wal);
 
 /// One journal record: a kind plus flat string fields.
 struct JournalRecord {

@@ -1,0 +1,191 @@
+#include "storage/faulty_storage.h"
+
+#include "common/log.h"
+
+namespace gae::storage {
+
+const char* storage_fault_kind_name(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kNone: return "none";
+    case StorageFaultKind::kTornAppend: return "torn_append";
+    case StorageFaultKind::kEnospc: return "enospc";
+    case StorageFaultKind::kFsyncFail: return "fsync_fail";
+    case StorageFaultKind::kReadError: return "read_error";
+    case StorageFaultKind::kBitRot: return "bit_rot";
+    case StorageFaultKind::kReplaceFail: return "replace_fail";
+  }
+  return "unknown";
+}
+
+FaultyWalStorage::FaultyWalStorage(WalStorage* inner, StorageFaultPlan plan)
+    : inner_(inner), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+StorageFaultSpec FaultyWalStorage::next_fault_locked() const {
+  const std::uint64_t index = op_index_++;
+  if (index < plan_.script.size()) return plan_.script[index];
+  if (plan_.fault_rate > 0.0 && !plan_.random_kinds.empty() &&
+      rng_.bernoulli(plan_.fault_rate)) {
+    StorageFaultSpec spec;
+    spec.kind = plan_.random_kinds[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(plan_.random_kinds.size()) - 1))];
+    // Seeded rot placement: anywhere in the log as it stands now.
+    auto contents = inner_->read_all();
+    const std::size_t size = contents.is_ok() ? contents.value().size() : 0;
+    spec.offset = size == 0 ? 0
+                            : static_cast<std::size_t>(rng_.uniform_int(
+                                  0, static_cast<std::int64_t>(size) - 1));
+    return spec;
+  }
+  return StorageFaultSpec{};
+}
+
+void FaultyWalStorage::count_fault_locked(StorageFaultKind kind) const {
+  ++faults_;
+  ++fault_counts_[storage_fault_kind_name(kind)];
+}
+
+Status FaultyWalStorage::append(const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (latched_) {
+    return failed_precondition_error("faulty storage latched read-only");
+  }
+  const StorageFaultSpec fault = next_fault_locked();
+  switch (fault.kind) {
+    case StorageFaultKind::kTornAppend:
+    case StorageFaultKind::kEnospc: {
+      std::size_t keep = fault.after_bytes ? fault.after_bytes : bytes.size() / 2;
+      if (keep > bytes.size()) keep = bytes.size();
+      (void)inner_->append(bytes.substr(0, keep));  // the torn tail lands
+      latched_ = true;
+      count_fault_locked(fault.kind);
+      GAE_LOG_WARN << "storage-fault: " << storage_fault_kind_name(fault.kind)
+                   << " wrote " << keep << " of " << bytes.size() << " bytes (latched)";
+      if (fault.kind == StorageFaultKind::kEnospc) {
+        return resource_exhausted_error(
+            "injected ENOSPC mid-frame (storage latched): wrote " +
+            std::to_string(keep) + " of " + std::to_string(bytes.size()));
+      }
+      return internal_error("injected torn append (storage latched): wrote " +
+                            std::to_string(keep) + " of " +
+                            std::to_string(bytes.size()));
+    }
+    case StorageFaultKind::kFsyncFail: {
+      // The bytes reach the page cache; the flush that would make them
+      // durable fails. fsyncgate: nothing past this point may be trusted.
+      (void)inner_->append(bytes);
+      latched_ = true;
+      count_fault_locked(fault.kind);
+      GAE_LOG_WARN << "storage-fault: fsync failed after append (latched)";
+      return internal_error("injected fsync failure (storage latched)");
+    }
+    case StorageFaultKind::kBitRot: {
+      const Status s = inner_->append(bytes);
+      if (s.is_ok()) {
+        rot_[fault.offset] = fault.xor_mask ? fault.xor_mask : 0x01;
+        count_fault_locked(fault.kind);
+      }
+      return s;
+    }
+    default:
+      return inner_->append(bytes);
+  }
+}
+
+Result<std::string> FaultyWalStorage::read_inner_locked() const {
+  auto bytes = inner_->read_all();
+  if (!bytes.is_ok() || rot_.empty()) return bytes;
+  std::string out = std::move(bytes).value();
+  for (const auto& [offset, mask] : rot_) {
+    if (!out.empty()) out[offset % out.size()] ^= static_cast<char>(mask);
+  }
+  return out;
+}
+
+Result<std::string> FaultyWalStorage::read_all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const StorageFaultSpec fault = next_fault_locked();
+  switch (fault.kind) {
+    case StorageFaultKind::kReadError:
+      count_fault_locked(fault.kind);
+      return unavailable_error("injected wal read error");
+    case StorageFaultKind::kBitRot:
+      rot_[fault.offset] = fault.xor_mask ? fault.xor_mask : 0x01;
+      count_fault_locked(fault.kind);
+      return read_inner_locked();
+    default:
+      return read_inner_locked();
+  }
+}
+
+Status FaultyWalStorage::replace(const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const StorageFaultSpec fault = next_fault_locked();
+  if (fault.kind == StorageFaultKind::kReplaceFail) {
+    count_fault_locked(fault.kind);
+    return unavailable_error("injected wal replace failure");
+  }
+  const Status s = inner_->replace(bytes);
+  if (s.is_ok()) {
+    // The medium was rewritten wholesale: at-rest rot is gone and the
+    // unknowable tail that latched us no longer exists.
+    rot_.clear();
+    latched_ = false;
+  }
+  return s;
+}
+
+Status FaultyWalStorage::sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const StorageFaultSpec fault = next_fault_locked();
+  if (fault.kind == StorageFaultKind::kFsyncFail) {
+    latched_ = true;
+    count_fault_locked(fault.kind);
+    GAE_LOG_WARN << "storage-fault: injected fsync failure (latched)";
+    return internal_error("injected fsync failure (storage latched)");
+  }
+  return inner_->sync();
+}
+
+bool FaultyWalStorage::writable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !latched_ && inner_->writable();
+}
+
+void FaultyWalStorage::make_writable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latched_ = false;
+  inner_->make_writable();
+}
+
+void FaultyWalStorage::rot_byte(std::size_t offset, std::uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rot_[offset] = mask ? mask : 0x01;
+  count_fault_locked(StorageFaultKind::kBitRot);
+}
+
+void FaultyWalStorage::clear_rot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rot_.clear();
+}
+
+void FaultyWalStorage::force_latch() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latched_ = true;
+}
+
+std::uint64_t FaultyWalStorage::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return op_index_;
+}
+
+std::uint64_t FaultyWalStorage::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_;
+}
+
+std::map<std::string, std::uint64_t> FaultyWalStorage::fault_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_counts_;
+}
+
+}  // namespace gae::storage

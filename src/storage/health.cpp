@@ -1,0 +1,109 @@
+#include "storage/health.h"
+
+#include "common/log.h"
+
+namespace gae::storage {
+
+const char* store_state_name(StoreState state) {
+  switch (state) {
+    case StoreState::kHealthy: return "healthy";
+    case StoreState::kReadOnly: return "read_only";
+    case StoreState::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+StoreHealth::StoreHealth(std::string stream, telemetry::MetricsRegistry* metrics)
+    : stream_(std::move(stream)), metrics_(metrics) {
+  if (metrics_) {
+    state_gauge_ = &metrics_->gauge("storage." + stream_ + ".state");
+    quarantine_counter_ = &metrics_->counter("storage." + stream_ + ".quarantines");
+    read_only_counter_ = &metrics_->counter("storage." + stream_ + ".read_only_latches");
+  }
+}
+
+StoreState StoreHealth::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::string StoreHealth::reason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reason_;
+}
+
+void StoreHealth::set_on_change(std::function<void(StoreState)> fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_change_ = std::move(fn);
+}
+
+void StoreHealth::transition_locked(StoreState next, const std::string& why,
+                                    std::function<void(StoreState)>& fire) {
+  if (state_ == next) return;
+  state_ = next;
+  reason_ = next == StoreState::kHealthy ? std::string() : why;
+  if (state_gauge_) state_gauge_->set(static_cast<std::int64_t>(next));
+  fire = on_change_;
+}
+
+void StoreHealth::mark_read_only(const std::string& why) {
+  std::function<void(StoreState)> fire;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Quarantine is the stronger verdict; a write-path latch must not
+    // soften it back to serving reads.
+    if (state_ == StoreState::kQuarantined || state_ == StoreState::kReadOnly) return;
+    transition_locked(StoreState::kReadOnly, why, fire);
+  }
+  if (read_only_counter_) read_only_counter_->inc();
+  GAE_LOG_WARN << "storage: store '" << stream_ << "' degraded read-only: " << why;
+  if (fire) fire(StoreState::kReadOnly);
+}
+
+void StoreHealth::quarantine(const std::string& why) {
+  std::function<void(StoreState)> fire;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == StoreState::kQuarantined) return;
+    ++quarantines_;
+    transition_locked(StoreState::kQuarantined, why, fire);
+  }
+  if (quarantine_counter_) quarantine_counter_->inc();
+  GAE_LOG_ERROR << "storage: store '" << stream_ << "' QUARANTINED: " << why;
+  if (fire) fire(StoreState::kQuarantined);
+}
+
+void StoreHealth::mark_healthy() {
+  std::function<void(StoreState)> fire;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == StoreState::kHealthy) return;
+    transition_locked(StoreState::kHealthy, "", fire);
+  }
+  GAE_LOG_INFO << "storage: store '" << stream_ << "' healthy again";
+  if (fire) fire(StoreState::kHealthy);
+}
+
+void StoreHealth::note_recover(const RecoverStats& stats) {
+  if (metrics_) {
+    metrics_->counter("wal." + stream_ + ".recover.corrupt_frames")
+        .inc(stats.corrupt_frames);
+    metrics_->counter("wal." + stream_ + ".recover.bytes_truncated")
+        .inc(stats.bytes_truncated);
+  }
+  if (stats.corrupt) {
+    quarantine("recovery found corrupt frame (kept " +
+               std::to_string(stats.frames_kept) + " frames, dropped " +
+               std::to_string(stats.bytes_truncated) + " bytes)");
+  } else if (stats.torn_tail) {
+    GAE_LOG_WARN << "storage: store '" << stream_ << "' recovery dropped a torn tail ("
+                 << stats.bytes_truncated << " bytes)";
+  }
+}
+
+std::uint64_t StoreHealth::quarantines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quarantines_;
+}
+
+}  // namespace gae::storage

@@ -1,0 +1,90 @@
+// Per-store health surfaced through the same degraded-mode machinery the
+// overload fabric uses: where AdmissionController::browned_out() tells a
+// binding to serve the cheap answer, StoreHealth tells it whether the
+// durable state behind the answer can be trusted at all.
+//
+// Three states, strictly ordered by how much of the store still works:
+//
+//   kHealthy     — reads and writes flow.
+//   kReadOnly    — the write path latched (short append, failed fsync):
+//                  serving reads from the already-recovered view is safe,
+//                  accepting new mutations is not.
+//   kQuarantined — the scrubber (or recovery) found CRC damage in the log:
+//                  the in-memory view may be poisoned, so reads are refused
+//                  too until repair swaps in a verified image.
+//
+// The owning store consults writable()/readable() on its mutation/read
+// paths; the scrubber and recovery flip the state; the repair recipe is
+// armed off the on_change callback and marks the store healthy again.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/wal.h"
+#include "telemetry/metrics.h"
+
+namespace gae::storage {
+
+enum class StoreState : int { kHealthy = 0, kReadOnly = 1, kQuarantined = 2 };
+
+const char* store_state_name(StoreState state);
+
+class StoreHealth {
+ public:
+  /// `metrics` (optional, must outlive this) receives the
+  /// storage.<stream>.state gauge, latch/quarantine counters, and the
+  /// wal.<stream>.recover.* series note_recover publishes.
+  explicit StoreHealth(std::string stream,
+                       telemetry::MetricsRegistry* metrics = nullptr);
+
+  const std::string& stream() const { return stream_; }
+
+  StoreState state() const;
+  /// True only while kHealthy: a read-only or quarantined store must not
+  /// accept mutations.
+  bool writable() const { return state() == StoreState::kHealthy; }
+  /// True unless kQuarantined: a read-only store still serves its view.
+  bool readable() const { return state() != StoreState::kQuarantined; }
+  /// Why the store left kHealthy ("" while healthy).
+  std::string reason() const;
+
+  /// Write path broke (latched storage); reads keep working. A quarantined
+  /// store stays quarantined — read-only is the lesser degradation.
+  void mark_read_only(const std::string& why);
+  /// Integrity damage found; refuse reads too until repaired.
+  void quarantine(const std::string& why);
+  /// Repair (or a clean re-open) restored the store.
+  void mark_healthy();
+
+  /// Runs (outside the lock) whenever the state changes. One listener;
+  /// repair wiring uses it to schedule the repair recipe on quarantine.
+  void set_on_change(std::function<void(StoreState)> fn);
+
+  /// Publishes what a recovery dropped: wal.<stream>.recover.corrupt_frames
+  /// and .bytes_truncated counters. Quarantines the store when the log was
+  /// corrupt mid-frame (a torn tail alone is the normal crash artifact and
+  /// does not quarantine).
+  void note_recover(const RecoverStats& stats);
+
+  std::uint64_t quarantines() const;
+
+ private:
+  void transition_locked(StoreState next, const std::string& why,
+                         std::function<void(StoreState)>& fire);
+
+  std::string stream_;
+  mutable std::mutex mutex_;
+  StoreState state_ = StoreState::kHealthy;
+  std::string reason_;
+  std::uint64_t quarantines_ = 0;
+  std::function<void(StoreState)> on_change_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Gauge* state_gauge_ = nullptr;
+  telemetry::Counter* quarantine_counter_ = nullptr;
+  telemetry::Counter* read_only_counter_ = nullptr;
+};
+
+}  // namespace gae::storage

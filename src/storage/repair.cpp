@@ -1,0 +1,141 @@
+#include "storage/repair.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace gae::storage {
+
+Result<RepairReport> repair_from_standby(const RepairOptions& options) {
+  if (!options.storage) return invalid_argument_error("repair: no storage");
+  if (!options.source) return invalid_argument_error("repair: no standby source");
+
+  const SimTime start =
+      options.clock ? options.clock->now() : kSimTimeNever;
+
+  auto fetched = options.source->fetch(options.stream);
+  if (!fetched.is_ok()) {
+    if (options.metrics) {
+      options.metrics->counter("storage." + options.stream + ".repair_failures")
+          .inc();
+    }
+    return Status(fetched.status().code(),
+                  "repair fetch failed for stream " + options.stream + ": " +
+                      fetched.status().message());
+  }
+  ha::SnapshotInstall image = std::move(fetched).value();
+
+  // Never install an image we have not verified ourselves: the standby
+  // checks before exporting, but the transport (and its hex codec) sit in
+  // between.
+  if (crc32(image.bytes) != image.crc) {
+    if (options.metrics) {
+      options.metrics->counter("storage." + options.stream + ".repair_failures")
+          .inc();
+    }
+    return internal_error("repair image crc mismatch for stream " +
+                           options.stream);
+  }
+  const WalReadResult decoded = Wal::decode(image.bytes);
+  if (decoded.corrupt || decoded.torn_tail) {
+    if (options.metrics) {
+      options.metrics->counter("storage." + options.stream + ".repair_failures")
+          .inc();
+    }
+    return internal_error(
+        "repair image for stream " + options.stream + " fails verification (" +
+        std::to_string(image.bytes.size() - decoded.valid_bytes) +
+        " damaged bytes)");
+  }
+
+  // Atomic swap. replace() is the one storage operation defined to clear
+  // the read-only latch: the damaged media (and its unknowable tail) are
+  // rewritten wholesale.
+  Status installed = options.storage->replace(image.bytes);
+  if (!installed.is_ok()) {
+    if (options.metrics) {
+      options.metrics->counter("storage." + options.stream + ".repair_failures")
+          .inc();
+    }
+    return Status(installed.code(),
+                  "repair install failed for stream " + options.stream + ": " +
+                      installed.message());
+  }
+
+  // Read back what actually landed before declaring victory — the swap went
+  // through a medium we just watched fail.
+  auto readback = options.storage->read_all();
+  if (!readback.is_ok() || readback.value() != image.bytes) {
+    if (options.metrics) {
+      options.metrics->counter("storage." + options.stream + ".repair_failures")
+          .inc();
+    }
+    return internal_error("repair readback mismatch for stream " +
+                           options.stream);
+  }
+
+  if (options.replay) {
+    Status replayed = options.replay();
+    if (!replayed.is_ok()) {
+      if (options.metrics) {
+        options.metrics
+            ->counter("storage." + options.stream + ".repair_failures")
+            .inc();
+      }
+      return Status(replayed.code(),
+                    "repair replay failed for stream " + options.stream + ": " +
+                        replayed.message());
+    }
+  }
+
+  if (options.health) options.health->mark_healthy();
+  if (options.scrubber) options.scrubber->note_repaired(options.stream);
+
+  RepairReport report;
+  report.bytes_installed = image.bytes.size();
+  report.frames = decoded.records.size();
+  report.standby_epoch = image.epoch;
+  report.standby_next_seq = image.next_seq;
+
+  if (options.metrics) {
+    options.metrics->counter("storage." + options.stream + ".repairs").inc();
+    if (options.clock && start != kSimTimeNever) {
+      const double ms = to_millis(options.clock->now() - start);
+      options.metrics->histogram("storage." + options.stream + ".repair_ms")
+          .record(static_cast<std::uint64_t>(ms < 0 ? 0 : ms));
+    }
+  }
+  GAE_LOG_INFO << "repair: stream '" << options.stream << "' restored from "
+               << "standby (" << report.frames << " frames, "
+               << report.bytes_installed << " bytes, standby epoch "
+               << report.standby_epoch << ")";
+  return report;
+}
+
+supervision::SupervisedService make_repair_recipe(
+    std::string recipe_name, RepairOptions options,
+    std::function<void(const RepairReport&)> on_repaired) {
+  supervision::SupervisedService service;
+  service.name = std::move(recipe_name);
+  service.restart = [options = std::move(options),
+                     on_repaired = std::move(on_repaired)]() -> Status {
+    auto repaired = repair_from_standby(options);
+    if (!repaired.is_ok()) return repaired.status();
+    if (on_repaired) on_repaired(repaired.value());
+    return Status::ok();
+  };
+  return service;
+}
+
+void arm_repair_on_quarantine(StoreHealth& health,
+                              supervision::Supervisor& supervisor,
+                              std::string recipe_name) {
+  health.set_on_change(
+      [&supervisor, recipe_name = std::move(recipe_name)](StoreState state) {
+        if (state == StoreState::kQuarantined) {
+          supervisor.on_service_dead(recipe_name);
+        }
+      });
+}
+
+}  // namespace gae::storage

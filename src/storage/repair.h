@@ -1,0 +1,85 @@
+// Self-healing repair: a quarantined (or write-latched) store pulls a full,
+// verified log image back from its hot standby and atomically swaps it in —
+// PR 7's gap-resync machinery run in reverse. The standby has every
+// acknowledged frame (sync replication acks only after standby fsync), so a
+// primary whose disk rotted or tore repairs to exactly the acked history.
+//
+// Flow: fetch the standby's log over ShipperTransport::fetch (ha.fetch on
+// the wire) -> verify the end-to-end CRC and re-decode every frame (a
+// damaged donor must never be installed) -> WalStorage::replace (crash-
+// atomic; clears the read-only latch) -> re-read and byte-compare what
+// landed -> replay into the live store -> mark healthy.
+//
+// make_repair_recipe packages this as a supervision::SupervisedService so
+// repair rides the same detector-verdict + capped-backoff machinery as
+// promotion: arm_repair_on_quarantine wires a StoreHealth quarantine
+// transition to schedule the recipe, and the supervisor retries with
+// backoff until the standby is reachable — or quarantines the recipe
+// itself if repair crash-loops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/wal.h"
+#include "ha/replication.h"
+#include "storage/health.h"
+#include "storage/scrubber.h"
+#include "supervision/supervisor.h"
+#include "telemetry/metrics.h"
+
+namespace gae::storage {
+
+struct RepairOptions {
+  std::string stream;
+  /// The damaged store's storage; replace() swaps the repaired image in.
+  WalStorage* storage = nullptr;
+  /// Where the verified image comes from (a transport to the hot standby).
+  ha::ShipperTransport* source = nullptr;
+  /// Marked healthy after a successful repair (optional).
+  StoreHealth* health = nullptr;
+  /// Bumps wal.<stream>.scrub.repaired so detection and healing share a
+  /// metric family (optional).
+  Scrubber* scrubber = nullptr;
+  /// Rebuilds the live in-memory view from the repaired log (DBManager::
+  /// recover and friends). Runs after the swap; its failure fails the
+  /// repair (optional).
+  std::function<Status()> replay;
+  /// storage.<stream>.repair_ms histogram and .repair_failures counter.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Times the repair for the histogram (optional).
+  const Clock* clock = nullptr;
+};
+
+struct RepairReport {
+  std::size_t bytes_installed = 0;
+  std::size_t frames = 0;
+  std::uint64_t standby_epoch = 0;
+  std::uint64_t standby_next_seq = 0;
+};
+
+/// One repair attempt. Fails without touching the local log when the
+/// standby is unreachable or its image does not verify; the supervisor's
+/// backoff retries.
+Result<RepairReport> repair_from_standby(const RepairOptions& options);
+
+/// Packages repair_from_standby as a supervisor restart recipe. manage()
+/// this under `recipe_name` and schedule it (arm_repair_on_quarantine does
+/// so automatically) and repair runs with capped backoff until it lands.
+/// `on_repaired` (optional) runs after a successful repair.
+supervision::SupervisedService make_repair_recipe(
+    std::string recipe_name, RepairOptions options,
+    std::function<void(const RepairReport&)> on_repaired = {});
+
+/// Wires a quarantine verdict into the supervisor: when `health` enters
+/// kQuarantined, a restart of `recipe_name` is scheduled (idempotent while
+/// one is pending). `supervisor` and `health` must outlive each other's
+/// use; call after supervisor.manage(make_repair_recipe(...)).
+void arm_repair_on_quarantine(StoreHealth& health,
+                              supervision::Supervisor& supervisor,
+                              std::string recipe_name);
+
+}  // namespace gae::storage

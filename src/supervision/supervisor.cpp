@@ -21,6 +21,7 @@ void Supervisor::count(const char* what) {
 
 void Supervisor::on_service_dead(const std::string& name) {
   if (!services_.count(name)) return;  // not ours to restart
+  if (quarantined_.count(name)) return;  // parked until release()
   ++stats_.deaths_seen;
   count("deaths");
   if (pending_.count(name)) return;  // restart already scheduled
@@ -42,6 +43,31 @@ std::size_t Supervisor::tick() {
     }
     const std::string& name = it->first;
     Pending& p = it->second;
+    if (options_.crash_loop_restarts > 0) {
+      auto& history = attempt_history_[name];
+      while (!history.empty() &&
+             now - history.front() > options_.crash_loop_window) {
+        history.pop_front();
+      }
+      if (static_cast<int>(history.size()) >= options_.crash_loop_restarts) {
+        // Crash loop: the recipe keeps running but the service keeps dying.
+        // Park it — flapping forever burns the ensemble and hides the fault.
+        quarantined_.insert(name);
+        ++stats_.quarantined;
+        count("quarantined");
+        if (metrics_) {
+          metrics_->counter("supervision." + name + ".quarantined").inc();
+        }
+        publish_event(name, "quarantined");
+        GAE_LOG_ERROR << "supervisor: " << name << " crash-looping ("
+                      << history.size() << " restarts inside "
+                      << to_seconds(options_.crash_loop_window)
+                      << "s); quarantined until release()";
+        it = pending_.erase(it);
+        continue;
+      }
+      history.push_back(now);
+    }
     ++stats_.restart_attempts;
     count("restart_attempts");
     const Status s = services_[name].restart();
@@ -78,6 +104,16 @@ std::size_t Supervisor::tick() {
                          static_cast<double>(pending_.size()));
   }
   return restarted;
+}
+
+Status Supervisor::release(const std::string& name) {
+  if (!quarantined_.erase(name)) {
+    return not_found_error("not quarantined: " + name);
+  }
+  attempt_history_.erase(name);
+  publish_event(name, "released");
+  GAE_LOG_INFO << "supervisor: " << name << " released from quarantine";
+  return Status::ok();
 }
 
 void Supervisor::publish_event(const std::string& service, const std::string& what) {

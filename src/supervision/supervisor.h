@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/clock.h"
@@ -27,6 +29,14 @@ struct SupervisorOptions {
   RetryPolicy restart_backoff{/*max_attempts=*/5, /*initial_backoff_ms=*/1000,
                               /*backoff_multiplier=*/2.0, /*max_backoff_ms=*/60'000,
                               /*jitter_fraction=*/0.0, /*jitter_seed=*/1};
+  /// Crash-loop breaker: once a service has burned this many restart
+  /// attempts inside crash_loop_window, the recipe is parked (quarantined)
+  /// instead of retried — a recipe that keeps "succeeding" into a service
+  /// that dies again is burning the ensemble, and flapping forever hides
+  /// the fault from operators. A quarantined recipe ignores further death
+  /// verdicts until release() is called explicitly. 0 disables the breaker.
+  int crash_loop_restarts = 0;
+  SimDuration crash_loop_window = from_seconds(60);
 };
 
 /// One service under supervision. `restart` does the whole resurrection:
@@ -42,6 +52,7 @@ struct SupervisorStats {
   std::uint64_t restarts_succeeded = 0;
   std::uint64_t restarts_failed = 0;
   std::uint64_t gave_up = 0;
+  std::uint64_t quarantined = 0;
 };
 
 class Supervisor {
@@ -71,6 +82,17 @@ class Supervisor {
     return pending_.count(name) != 0;
   }
 
+  /// True while the crash-loop breaker has `name` parked: death verdicts
+  /// are ignored and no restarts run until release().
+  bool quarantined(const std::string& name) const {
+    return quarantined_.count(name) != 0;
+  }
+
+  /// Operator action: un-parks a quarantined recipe and clears its
+  /// crash-loop history so the next death verdict schedules a restart
+  /// again. NOT_FOUND if `name` is not quarantined.
+  Status release(const std::string& name);
+
   const SupervisorStats& stats() const { return stats_; }
 
  private:
@@ -90,6 +112,9 @@ class Supervisor {
   FailureDetector* detector_ = nullptr;
   std::map<std::string, SupervisedService> services_;
   std::map<std::string, Pending> pending_;
+  /// Restart-attempt instants per service, pruned to crash_loop_window.
+  std::map<std::string, std::deque<SimTime>> attempt_history_;
+  std::set<std::string> quarantined_;
   SupervisorStats stats_;
 };
 
