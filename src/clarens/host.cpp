@@ -150,6 +150,12 @@ void ClarensHost::register_system_methods() {
         return Value(std::move(out));
       });
 
+  // The transport-level batch (RpcClient::call_many's server half): one
+  // wire exchange and one admission ticket per batch. Distinct from
+  // system.multicall below, which is the XML-RPC compatibility extension
+  // with its own fault-struct result shape.
+  dispatcher_->enable_batch();
+
   // system.multicall([{methodName, params}, ...]) -> [[result] | fault-struct]
   // (the standard XML-RPC batching extension; sub-calls run under the
   // caller's session and each failure is isolated into a fault struct).

@@ -48,6 +48,12 @@ const char* criticality_name(Criticality tier);
 /// the default for peers that do not set the header).
 Criticality criticality_from_wire(int value);
 
+/// The more critical of two tiers (numerically smaller). A batched request
+/// rides the wire at the criticality of its most critical item.
+inline constexpr Criticality more_critical(Criticality a, Criticality b) {
+  return static_cast<int>(a) <= static_cast<int>(b) ? a : b;
+}
+
 struct AdmissionOptions {
   /// Concurrency limit bounds. The limiter never clamps below min_limit
   /// (tier-0 traffic must always have a path in) nor raises above max_limit.

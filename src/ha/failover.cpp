@@ -85,6 +85,9 @@ Result<Promotion> promote_standby(const PromotionOptions& options) {
     }
   }
   if (options.role) options.role->make_primary(promotion.lease.epoch);
+  // Caches filled while standing by hold answers from the old primary's
+  // epoch; drop them before this host starts taking the traffic.
+  if (options.drop_caches) options.drop_caches();
   promotion.registration =
       options.registry->register_service(options.self, options.lease_ttl);
 

@@ -77,6 +77,11 @@ struct PromotionOptions {
   StandbyReplica* replica = nullptr;             // fenced after the epoch bump
   std::function<Status()> replay;                // rebuild live state from the log
   std::shared_ptr<PrimaryRole> role;             // flipped on success
+  /// Runs after a successful promotion, before the service re-registers:
+  /// drop read caches populated while standing by (jobmon's ReadCache,
+  /// snapshot caches, ...) — entries recorded under the old primary's epoch
+  /// must not serve on the new one.
+  std::function<void()> drop_caches;
   telemetry::MetricsRegistry* metrics = nullptr; // ha.promotion_ms histogram
   const Clock* clock = nullptr;                  // times the promotion
 };

@@ -69,72 +69,106 @@ struct SnapshotCache {
 void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& service,
                              telemetry::Tracer* tracer,
                              telemetry::MetricsRegistry* metrics,
-                             AdmissionController* admission, int staleness_ms) {
+                             AdmissionController* admission, int staleness_ms,
+                             ReadCache* cache) {
   const telemetry::TracedRegistrar d(host.dispatcher(), tracer, metrics);
 
-  auto cache = std::make_shared<SnapshotCache>();
+  // The collector's update feed is the cache's invalidation source: every
+  // job-state transition drops that task's entries and the list, so cached
+  // reads are stale by at most one TTL *and* never miss a transition.
+  if (cache) {
+    service.add_update_listener([cache](const std::string& task_id, exec::TaskState) {
+      cache->invalidate_task(task_id);
+    });
+  }
+
+  auto snapshot_cache = std::make_shared<SnapshotCache>();
   const std::int64_t staleness_us = static_cast<std::int64_t>(staleness_ms) * 1000;
   telemetry::Counter* cached_counter =
       metrics ? &metrics->counter("jobmon.brownout_cached") : nullptr;
   // Refreshes the snapshot if it has gone stale and returns a copy of it
   // (copied under the lock; only the brownout path pays this).
-  auto snapshot = [cache, &service, staleness_us,
+  auto snapshot = [snapshot_cache, &service, staleness_us,
                    cached_counter]() -> std::map<std::string, JobMonitorReport> {
-    std::lock_guard<std::mutex> lock(cache->mutex);
+    std::lock_guard<std::mutex> lock(snapshot_cache->mutex);
     const std::int64_t now = rpc::steady_now_us();
-    if (!cache->valid || now - cache->refreshed_at_us > staleness_us) {
-      cache->reports.clear();
+    if (!snapshot_cache->valid || now - snapshot_cache->refreshed_at_us > staleness_us) {
+      snapshot_cache->reports.clear();
       for (auto& report : service.list_all()) {
         std::string id = report.info.spec.id;
-        cache->reports[std::move(id)] = std::move(report);
+        snapshot_cache->reports[std::move(id)] = std::move(report);
       }
-      cache->refreshed_at_us = now;
-      cache->valid = true;
+      snapshot_cache->refreshed_at_us = now;
+      snapshot_cache->valid = true;
     }
     if (cached_counter) cached_counter->inc();
-    return cache->reports;
+    return snapshot_cache->reports;
   };
 
-  d.register_method("jobmon.info",
-                    [&service, admission, snapshot](const Array& params,
-                                                    const CallContext&) -> Result<Value> {
-                      auto id = task_id_param(params, "jobmon.info");
-                      if (!id.is_ok()) return id.status();
-                      if (admission && admission->browned_out()) {
-                        auto reports = snapshot();
-                        auto it = reports.find(id.value());
-                        if (it == reports.end()) {
-                          return not_found_error("no such task in snapshot: " + id.value());
-                        }
-                        Struct out = report_to_value(it->second).as_struct();
-                        out["stale"] = Value(true);
-                        return Value(std::move(out));
-                      }
-                      auto report = service.info(id.value());
-                      if (!report.is_ok()) return report.status();
-                      Struct out = report_to_value(report.value()).as_struct();
-                      out["stale"] = Value(false);
-                      return Value(std::move(out));
-                    });
+  d.register_method(
+      "jobmon.info",
+      [&service, admission, snapshot, cache](const Array& params,
+                                             const CallContext&) -> Result<Value> {
+        auto id = task_id_param(params, "jobmon.info");
+        if (!id.is_ok()) return id.status();
+        const bool browned = admission && admission->browned_out();
+        const std::string key = ReadCache::info_key(id.value());
+        if (cache) {
+          if (auto hit = cache->get(key, browned)) return std::move(*hit);
+        }
+        if (browned) {
+          auto reports = snapshot();
+          auto it = reports.find(id.value());
+          if (it == reports.end()) {
+            return not_found_error("no such task in snapshot: " + id.value());
+          }
+          Struct out = report_to_value(it->second).as_struct();
+          out["stale"] = Value(true);
+          Value v(std::move(out));
+          if (cache) cache->put(key, v);
+          return v;
+        }
+        auto report = service.info(id.value());
+        if (!report.is_ok()) return report.status();
+        Struct out = report_to_value(report.value()).as_struct();
+        if (cache) {
+          // The cached copy is flagged stale up front: by the time it is
+          // served again it is, by definition, at least one read old.
+          Struct flagged = out;
+          flagged["stale"] = Value(true);
+          cache->put(key, Value(std::move(flagged)));
+        }
+        out["stale"] = Value(false);
+        return Value(std::move(out));
+      });
 
-  d.register_method("jobmon.status",
-                    [&service, admission, snapshot](const Array& params,
-                                                    const CallContext&) -> Result<Value> {
-                      auto id = task_id_param(params, "jobmon.status");
-                      if (!id.is_ok()) return id.status();
-                      if (admission && admission->browned_out()) {
-                        auto reports = snapshot();
-                        auto it = reports.find(id.value());
-                        if (it == reports.end()) {
-                          return not_found_error("no such task in snapshot: " + id.value());
-                        }
-                        return Value(
-                            std::string(exec::task_state_name(it->second.info.state)));
-                      }
-                      auto s = service.status(id.value());
-                      if (!s.is_ok()) return s.status();
-                      return Value(std::move(s).value());
-                    });
+  d.register_method(
+      "jobmon.status",
+      [&service, admission, snapshot, cache](const Array& params,
+                                             const CallContext&) -> Result<Value> {
+        auto id = task_id_param(params, "jobmon.status");
+        if (!id.is_ok()) return id.status();
+        const bool browned = admission && admission->browned_out();
+        const std::string key = ReadCache::status_key(id.value());
+        if (cache) {
+          if (auto hit = cache->get(key, browned)) return std::move(*hit);
+        }
+        if (browned) {
+          auto reports = snapshot();
+          auto it = reports.find(id.value());
+          if (it == reports.end()) {
+            return not_found_error("no such task in snapshot: " + id.value());
+          }
+          Value v(std::string(exec::task_state_name(it->second.info.state)));
+          if (cache) cache->put(key, v);
+          return v;
+        }
+        auto s = service.status(id.value());
+        if (!s.is_ok()) return s.status();
+        Value v(std::move(s).value());
+        if (cache) cache->put(key, v);
+        return v;
+      });
 
   d.register_method("jobmon.remainingTime",
                     [&service](const Array& params, const CallContext&) -> Result<Value> {
@@ -212,23 +246,35 @@ void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& s
         return Value(std::move(out));
       });
 
-  d.register_method("jobmon.list",
-                    [&service, admission, snapshot](const Array&,
-                                                    const CallContext&) -> Result<Value> {
-                      Array out;
-                      if (admission && admission->browned_out()) {
-                        for (const auto& [id, report] : snapshot()) {
-                          Struct s = report_to_value(report).as_struct();
-                          s["stale"] = Value(true);
-                          out.emplace_back(std::move(s));
-                        }
-                        return Value(std::move(out));
-                      }
-                      for (const auto& report : service.list_all()) {
-                        out.push_back(report_to_value(report));
-                      }
-                      return Value(std::move(out));
-                    });
+  d.register_method(
+      "jobmon.list",
+      [&service, admission, snapshot, cache](const Array&,
+                                             const CallContext&) -> Result<Value> {
+        const bool browned = admission && admission->browned_out();
+        if (cache) {
+          if (auto hit = cache->get(ReadCache::kListKey, browned)) return std::move(*hit);
+        }
+        Array out;
+        if (browned) {
+          for (const auto& [id, report] : snapshot()) {
+            Struct s = report_to_value(report).as_struct();
+            s["stale"] = Value(true);
+            out.emplace_back(std::move(s));
+          }
+          Value v(std::move(out));
+          if (cache) cache->put(ReadCache::kListKey, v);
+          return v;
+        }
+        for (const auto& report : service.list_all()) {
+          out.push_back(report_to_value(report));
+        }
+        if (cache) {
+          Array flagged = out;
+          for (auto& item : flagged) item.as_struct()["stale"] = Value(true);
+          cache->put(ReadCache::kListKey, Value(std::move(flagged)));
+        }
+        return Value(std::move(out));
+      });
 
   host.registry().register_service(
       {"jobmon@" + host.name(), host.name(), host.port(), "xmlrpc", {}, 0});

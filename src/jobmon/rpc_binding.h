@@ -4,6 +4,7 @@
 #pragma once
 
 #include "clarens/host.h"
+#include "jobmon/read_cache.h"
 #include "jobmon/service.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -24,10 +25,22 @@ rpc::Value report_to_value(const JobMonitorReport& report);
 /// fanning out to the execution services while the host sheds load. info
 /// responses carry stale=true/false; snapshot hits count
 /// jobmon.brownout_cached.
+///
+/// With `cache` set, jobmon.info / status / list additionally serve through
+/// an always-on TTL read cache: a fresh hit skips the service fan-out
+/// entirely (not just under brownout; under brownout the cache accepts
+/// older entries per its brownout_ttl_ms). The registration wires the
+/// cache's invalidation to the service's update feed — every job-state
+/// transition the Job Information Collector observes drops that task's
+/// entries and the list — so transitions are visible immediately, not
+/// after TTL. Cached info/list payloads carry stale=true (they are, by
+/// definition, at least one read old). The cache must outlive the host;
+/// on failover, hand ha::PromotionOptions::drop_caches a callback that
+/// calls cache->invalidate_all().
 void register_jobmon_methods(clarens::ClarensHost& host, JobMonitoringService& service,
                              telemetry::Tracer* tracer = nullptr,
                              telemetry::MetricsRegistry* metrics = nullptr,
                              AdmissionController* admission = nullptr,
-                             int staleness_ms = 2000);
+                             int staleness_ms = 2000, ReadCache* cache = nullptr);
 
 }  // namespace gae::jobmon

@@ -19,7 +19,12 @@ JobMonitoringService::JobMonitoringService(
         db_->update(task_id, info, site, now);
         events_.push_back({next_seq_++, now, task_id, site, info.state});
         while (events_.size() > kMaxEvents) events_.pop_front();
+        for (const auto& listener : update_listeners_) listener(task_id, info.state);
       });
+}
+
+void JobMonitoringService::add_update_listener(UpdateListener listener) {
+  update_listeners_.push_back(std::move(listener));
 }
 
 void JobMonitoringService::attach_site(const std::string& site,

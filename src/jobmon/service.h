@@ -9,6 +9,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -98,6 +99,15 @@ class JobMonitoringService {
   std::vector<MonitorEvent> events_since(std::uint64_t after, std::size_t max = 100) const;
   std::uint64_t last_event_seq() const { return next_seq_ - 1; }
 
+  /// Observes every job-state change the collector pushes, after the
+  /// repository write — the invalidation feed for read caches layered over
+  /// this service (jobmon/read_cache.h). Listeners run on the collector's
+  /// thread; keep them cheap. Register before traffic starts — not
+  /// synchronised with in-flight collection.
+  using UpdateListener =
+      std::function<void(const std::string& task_id, exec::TaskState state)>;
+  void add_update_listener(UpdateListener listener);
+
   const DBManager& db() const { return *db_; }
   /// Mutable repository access for snapshot/recover orchestration (the
   /// Supervisor drives these around a restart).
@@ -113,6 +123,7 @@ class JobMonitoringService {
   std::unique_ptr<DBManager> db_;
   std::unique_ptr<JobInformationCollector> collector_;
   std::deque<MonitorEvent> events_;
+  std::vector<UpdateListener> update_listeners_;
   std::uint64_t next_seq_ = 1;
   static constexpr std::size_t kMaxEvents = 4096;
 };

@@ -1,0 +1,64 @@
+// Client-side multi-call batching: BatchBuilder accumulates calls and
+// flushes them through RpcClient::call_many, which coalesces N invocations
+// into one rpc.batch round trip — one wire exchange, one server admission
+// ticket at the criticality of the most critical item — and returns one
+// Result per item, in order.
+//
+// Degradations are transparent: a single-item batch becomes a plain call,
+// and a server that does not know rpc.batch (NOT_FOUND) is retried
+// item-by-item so old peers keep working.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rpc/client.h"
+
+namespace gae::rpc {
+
+/// Fluent accumulator over RpcClient::call_many:
+///
+///   BatchBuilder batch(client);
+///   batch.add("jobmon.status", {Value(job_a)})
+///        .add("jobmon.status", {Value(job_b)})
+///        .add("estimator.query", {...}, Criticality::kBulk);
+///   auto results = batch.send();  // one round trip, 3 results
+///
+/// send() clears the builder, so one builder can flush successive batches.
+/// Not thread-safe; the client it flushes through is.
+class BatchBuilder {
+ public:
+  explicit BatchBuilder(RpcClient& client) : client_(&client) {}
+
+  BatchBuilder& add(std::string method, Array params = {},
+                    Criticality tier = Criticality::kStatus) {
+    items_.push_back({std::move(method), std::move(params), tier});
+    return *this;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const std::vector<BatchItem>& items() const { return items_; }
+
+  /// Flushes with the client's default CallOptions (tier overridden per the
+  /// batch's most critical item) and resets the builder.
+  std::vector<Result<Value>> send() {
+    auto results = client_->call_many(items_);
+    items_.clear();
+    return results;
+  }
+
+  /// Flushes with explicit options and resets the builder.
+  std::vector<Result<Value>> send(const CallOptions& options) {
+    auto results = client_->call_many(items_, options);
+    items_.clear();
+    return results;
+  }
+
+ private:
+  RpcClient* client_;
+  std::vector<BatchItem> items_;
+};
+
+}  // namespace gae::rpc

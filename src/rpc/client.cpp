@@ -56,7 +56,7 @@ RpcClient::RpcClient(std::string host, std::uint16_t port, Protocol protocol)
 
 RpcClient::RpcClient(std::vector<Endpoint> endpoints, Protocol protocol,
                      ClientOptions options)
-    : endpoints_(std::move(endpoints)), protocol_(protocol), options_(std::move(options)) {
+    : protocol_(protocol), options_(std::move(options)), endpoints_(std::move(endpoints)) {
   if (options_.clock) {
     clock_ptr_ = options_.clock;
   } else {
@@ -67,6 +67,14 @@ RpcClient::RpcClient(std::vector<Endpoint> endpoints, Protocol protocol,
     options_.sleep_ms = [](int ms) {
       std::this_thread::sleep_for(std::chrono::milliseconds(ms));
     };
+  }
+  if (options_.shared_pool) {
+    pool_ = options_.shared_pool;
+  } else {
+    PoolOptions pool_options = options_.pool;
+    if (!pool_options.clock) pool_options.clock = clock_ptr_;
+    if (!pool_options.metrics) pool_options.metrics = options_.metrics;
+    pool_ = std::make_shared<ConnectionPool>(pool_options);
   }
   breakers_.reserve(endpoints_.size());
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
@@ -98,6 +106,7 @@ void RpcClient::arm_endpoint_counters() {
 void RpcClient::arm_breaker_listener(CircuitBreaker& breaker, std::size_t index) {
   breaker.set_transition_listener(
       [this, index](CircuitBreaker::State from, CircuitBreaker::State to, SimTime) {
+        // Runs with mutex_ held (breakers are only driven under the lock).
         // A breaker opening means an endpoint went dark: refresh the
         // failover list from discovery before the next connection attempt.
         if (to == CircuitBreaker::State::kOpen) needs_resolve_ = true;
@@ -118,17 +127,22 @@ std::unique_ptr<CircuitBreaker> RpcClient::make_breaker(std::size_t index) {
 }
 
 void RpcClient::set_endpoints(std::vector<Endpoint> endpoints) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  set_endpoints_locked(std::move(endpoints));
+}
+
+void RpcClient::set_endpoints_locked(std::vector<Endpoint> endpoints) {
   if (endpoints.empty()) return;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers;
   breakers.reserve(endpoints.size());
-  std::size_t reconnect_index = endpoints.size();
+  std::size_t preferred = 0;  // sticky preference follows its endpoint
   for (std::size_t i = 0; i < endpoints.size(); ++i) {
     std::unique_ptr<CircuitBreaker> kept;
     for (std::size_t j = 0; j < endpoints_.size(); ++j) {
       if (breakers_[j] && endpoints_[j].host == endpoints[i].host &&
           endpoints_[j].port == endpoints[i].port) {
         kept = std::move(breakers_[j]);
-        if (connected_ && connected_endpoint_ == j) reconnect_index = i;
+        if (preferred_endpoint_ == j) preferred = i;
         break;
       }
     }
@@ -136,6 +150,7 @@ void RpcClient::set_endpoints(std::vector<Endpoint> endpoints) {
   }
   endpoints_ = std::move(endpoints);
   breakers_ = std::move(breakers);
+  preferred_endpoint_ = preferred;
   // (Re)arm listeners after endpoints_ is final so kept breakers report
   // their endpoint's new index.
   for (std::size_t i = 0; i < breakers_.size(); ++i) {
@@ -146,60 +161,82 @@ void RpcClient::set_endpoints(std::vector<Endpoint> endpoints) {
     }
   }
   arm_endpoint_counters();
-  if (connected_ && reconnect_index == endpoints_.size()) {
-    disconnect();  // the endpoint we were talking to is gone
-  } else if (connected_) {
-    connected_endpoint_ = reconnect_index;
-  }
 }
 
 void RpcClient::maybe_re_resolve() {
-  if (!needs_resolve_ || !options_.resolve_endpoints) return;
-  needs_resolve_ = false;
+  if (!options_.resolve_endpoints) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!needs_resolve_) return;
+    needs_resolve_ = false;
+  }
+  // The resolver typically queries the registry over its own RPC client —
+  // run it unlocked so concurrent calls are not serialised behind it.
   auto fresh = options_.resolve_endpoints();
   if (fresh.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.reresolves;
-  set_endpoints(std::move(fresh));
+  set_endpoints_locked(std::move(fresh));
 }
 
-void RpcClient::disconnect() {
-  stream_.close();
-  connected_ = false;
-}
+void RpcClient::disconnect() { pool_->clear(); }
 
 CircuitBreaker::State RpcClient::breaker_state(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return breakers_.at(index)->state();
+}
+
+std::size_t RpcClient::endpoint_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoints_.size();
+}
+
+Endpoint RpcClient::endpoint(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoints_.at(index);
+}
+
+RpcClientStats RpcClient::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 int RpcClient::remaining_ms(SimTime deadline) const {
   return static_cast<int>((deadline - clock().now()) / 1000);
 }
 
-Status RpcClient::ensure_connected() {
+Result<RpcClient::Checkout> RpcClient::acquire_connection() {
   maybe_re_resolve();
-  // Prefer the earliest endpoint whose breaker admits traffic; this fails
-  // over while the primary is open and fails back (via a half-open probe)
-  // once its cooldown elapses.
+  // Sticky walk: start from the endpoint that served the last successful
+  // attempt and fall back in list order (wrapping), skipping endpoints whose
+  // breaker rejects. Starting from the *preferred* endpoint rather than
+  // index 0 keeps a flapping primary from stealing traffic back from a
+  // healthy failover target; traffic returns to an earlier endpoint only
+  // when the current one fails.
   Status last = unavailable_error("rpc client has no endpoints");
   bool any_admitted = false;
-  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-    if (!breakers_[i]->allow()) continue;
-    any_admitted = true;
-    if (connected_ && connected_endpoint_ == i) return Status::ok();
-    auto stream = net::TcpStream::connect(endpoints_[i].host, endpoints_[i].port);
-    if (!stream.is_ok()) {
-      breakers_[i]->record_failure();
-      last = stream.status();
+  for (std::size_t k = 0;; ++k) {
+    Endpoint target;
+    std::size_t index = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (k >= endpoints_.size()) break;
+      index = (preferred_endpoint_ + k) % endpoints_.size();
+      if (!breakers_[index]->allow()) continue;
+      any_admitted = true;
+      target = endpoints_[index];
+    }
+    auto conn = pool_->checkout(target.host, target.port);
+    if (!conn.is_ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (index < breakers_.size()) breakers_[index]->record_failure();
+      last = conn.status();
       continue;
     }
-    if (connected_) disconnect();
-    stream_ = std::move(stream).value();
-    stream_.set_no_delay(true);
-    connected_ = true;
-    connected_endpoint_ = i;
-    return Status::ok();
+    return Checkout{std::move(conn).value(), index};
   }
   if (!any_admitted) {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.breaker_rejections;
     return unavailable_error("circuit open: every endpoint is rejecting calls");
   }
@@ -212,7 +249,10 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params) {
 
 Result<Value> RpcClient::call(const std::string& method, const Array& params,
                               const CallOptions& options) {
-  ++stats_.calls;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.calls;
+  }
   // Fresh traffic funds the retry budget; the deposit happens whether or
   // not this call ever retries.
   if (options.retry.budget) options.retry.budget->on_request();
@@ -229,6 +269,7 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
   int effective_deadline_ms = options.deadline_ms;
   const int ambient_rem = ambient_deadline_remaining_ms();
   if (ambient_rem == 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.deadline_exceeded;
     ++stats_.failed_calls;
     const Status s =
@@ -249,12 +290,16 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
   int redirects = 0;  // NOT_PRIMARY leader hints followed this call
 
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    ++stats_.attempts;
     bool wrote_request = false;
-    auto result = call_attempt(method, params, deadline, options.tier, wrote_request);
+    std::size_t attempt_index = 0;
+    auto result =
+        call_attempt(method, params, deadline, options.tier, wrote_request, attempt_index);
     if (result.is_ok()) return result;
     last = result.status();
-    if (last.code() == StatusCode::kDeadlineExceeded) ++stats_.deadline_exceeded;
+    if (last.code() == StatusCode::kDeadlineExceeded) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.deadline_exceeded;
+    }
 
     // A NOT_PRIMARY fault is an answer from a healthy replica, not an
     // outage: the endpoint's breaker is not charged (call_attempt already
@@ -266,13 +311,15 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
       std::uint16_t leader_port = 0;
       if (redirects < 2 && parse_leader_hint(last.message(), leader_host, leader_port)) {
         ++redirects;
+        std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.not_primary_redirects;
         std::vector<Endpoint> reordered;
         reordered.push_back({leader_host, leader_port});
         for (const auto& e : endpoints_) {
           if (e.host != leader_host || e.port != leader_port) reordered.push_back(e);
         }
-        set_endpoints(std::move(reordered));
+        set_endpoints_locked(std::move(reordered));
+        preferred_endpoint_ = 0;  // the leader now heads the list
         --attempt;  // the redirect does not consume a retry attempt
         continue;
       }
@@ -295,6 +342,7 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
       const int rem = remaining_ms(deadline);
       if (rem <= 1) {
         // No room for even a minimal next attempt.
+        std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.deadline_exceeded;
         last = deadline_exceeded_error("deadline budget exhausted after " +
                                        std::to_string(attempt) + " attempt(s): " + method);
@@ -307,37 +355,74 @@ Result<Value> RpcClient::call(const std::string& method, const Array& params,
       if (backoff >= rem) backoff = rem - 1;
     }
     if (options.retry.budget && !options.retry.budget->try_retry()) {
+      std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.retry_budget_exhausted;
       last = resource_exhausted_error("retry budget exhausted for " + method + ": " +
                                       last.message());
       break;
     }
-    ++stats_.retries;
-    count_endpoint(connected_endpoint_, &EndpointCounters::retries);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.retries;
+      count_endpoint(attempt_index, &EndpointCounters::retries);
+    }
     if (backoff > 0) options_.sleep_ms(backoff);
   }
-  ++stats_.failed_calls;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.failed_calls;
+  }
   if (span) span->set_status(last.code());
   return last;
 }
 
 Result<Value> RpcClient::call_attempt(const std::string& method, const Array& params,
                                       SimTime deadline, Criticality tier,
-                                      bool& wrote_request) {
-  const Status conn = ensure_connected();
-  if (!conn.is_ok()) return conn;
-  CircuitBreaker& breaker = *breakers_[connected_endpoint_];
-  if (connected_endpoint_ != 0) ++stats_.failovers;
-  count_endpoint(connected_endpoint_, &EndpointCounters::attempts);
+                                      bool& wrote_request, std::size_t& attempt_index) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.attempts;
+  }
+  auto acquired = acquire_connection();
+  if (!acquired.is_ok()) return acquired.status();
+  Checkout checkout = std::move(acquired).value();
+  const std::size_t index = checkout.index;
+  attempt_index = index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index != 0) ++stats_.failovers;
+    count_endpoint(index, &EndpointCounters::attempts);
+  }
 
+  // Bookkeeping for the wire outcome: success parks the connection for the
+  // next caller and re-anchors the sticky preference; failure closes it and
+  // charges the endpoint's breaker.
+  auto succeed = [&]() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (index < breakers_.size()) breakers_[index]->record_success();
+      preferred_endpoint_ = index;
+    }
+    pool_->checkin(std::move(checkout.conn));
+  };
+  auto fail = [&]() {
+    pool_->discard(std::move(checkout.conn));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index < breakers_.size()) breakers_[index]->record_failure();
+  };
+
+  net::TcpStream& stream = checkout.conn.stream;
   int wire_deadline_ms = -1;
   if (deadline > 0) {
     const int rem = remaining_ms(deadline);
-    if (rem <= 0) return deadline_exceeded_error("deadline expired before send: " + method);
-    stream_.set_recv_timeout_ms(rem);
+    if (rem <= 0) {
+      pool_->checkin(std::move(checkout.conn));  // unused, still healthy
+      return deadline_exceeded_error("deadline expired before send: " + method);
+    }
+    stream.set_recv_timeout_ms(rem);
     wire_deadline_ms = rem;
   } else {
-    stream_.set_recv_timeout_ms(0);
+    stream.set_recv_timeout_ms(0);
   }
 
   http::Request req;
@@ -364,23 +449,26 @@ Result<Value> RpcClient::call_attempt(const std::string& method, const Array& pa
 
   if (protocol_ == Protocol::kJsonRpc) {
     req.headers["content-type"] = "application/json";
-    req.body = jsonrpc::encode_call(method, params, next_id_++);
+    req.body = jsonrpc::encode_call(method, params,
+                                    next_id_.fetch_add(1, std::memory_order_relaxed));
   } else {
     req.headers["content-type"] = "text/xml";
     req.body = xmlrpc::encode_call(method, params);
   }
 
   wrote_request = true;
-  Status ws = http::write_request(stream_, req);
+  Status ws = http::write_request(stream, req);
   if (!ws.is_ok()) {
-    disconnect();
-    breaker.record_failure();
+    // A write failure on a *reused* keep-alive connection usually means the
+    // peer closed it while parked — no request reached a live server, so
+    // even non-idempotent calls may retry safely.
+    if (checkout.conn.reused) wrote_request = false;
+    fail();
     return ws;
   }
-  auto respr = http::read_response(stream_);
+  auto respr = http::read_response(stream);
   if (!respr.is_ok()) {
-    disconnect();
-    breaker.record_failure();
+    fail();
     if (respr.status().code() == StatusCode::kInvalidArgument) {
       // Unparseable response framing means a corrupt transport, not a bad
       // argument — report it as the retryable outage it is.
@@ -389,15 +477,18 @@ Result<Value> RpcClient::call_attempt(const std::string& method, const Array& pa
     return respr.status();
   }
   // The server answered; RPC faults below are its answer, not an outage.
-  breaker.record_success();
   const http::Response resp = std::move(respr).value();
+  succeed();
 
   if (resp.status_code == 503) {
     // Admission-control shed. The body carries a RESOURCE_EXHAUSTED fault in
     // our own protocol; prefer its message, but classify the response as
     // retryable-with-backoff even if the body is unparseable — a shed is
     // load feedback, never a protocol error.
-    ++stats_.shed_rejections;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.shed_rejections;
+    }
     if (protocol_ == Protocol::kJsonRpc) {
       auto decoded = jsonrpc::decode_response(resp.body);
       if (decoded.is_ok() && decoded.value().is_fault) {

@@ -1,13 +1,19 @@
-// Blocking RPC client with a persistent keep-alive connection, per-call
+// Blocking RPC client with per-endpoint connection pools, per-call
 // deadlines, retry with deterministic backoff, per-endpoint circuit
-// breakers, and an ordered failover endpoint list. Thread-compatible: guard
-// with external synchronisation or use one client per thread (the fig-6
-// benchmark does the latter).
+// breakers, and an ordered failover endpoint list.
+//
+// Thread-safe: concurrent call() invocations each check a keep-alive
+// connection out of the pool and ride their own socket, so N in-flight
+// calls use N connections instead of serialising on one stream (the fig-6
+// scaling axis). Endpoint/breaker bookkeeping is guarded by one internal
+// mutex that is never held across network I/O.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +22,7 @@
 #include "common/retry.h"
 #include "common/status.h"
 #include "net/socket.h"
+#include "rpc/pool.h"
 #include "rpc/value.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -54,6 +61,15 @@ struct CallOptions {
   Criticality tier = Criticality::kStatus;
 };
 
+/// One embedded request of a multi-call batch (rpc.batch / call_many).
+struct BatchItem {
+  std::string method;
+  Array params;
+  /// Per-item criticality; the batch rides the wire at the criticality of
+  /// its most critical item.
+  Criticality tier = Criticality::kStatus;
+};
+
 /// Client construction knobs.
 struct ClientOptions {
   /// Applied by the two-argument call().
@@ -61,6 +77,14 @@ struct ClientOptions {
   /// Breaker config shared by every endpoint (each endpoint gets its own
   /// breaker instance).
   CircuitBreakerOptions breaker;
+  /// Connection-pool sizing for the client's own pool (ignored when
+  /// shared_pool is set).
+  PoolOptions pool;
+  /// Share one pool between clients (e.g. every client of one process):
+  /// pooled connections are keyed by endpoint, so clients talking to the
+  /// same service reuse each other's sockets. Null = the client owns a
+  /// private pool built from `pool`.
+  std::shared_ptr<ConnectionPool> shared_pool;
   /// Time source for deadlines and the breakers; null = a shared wall clock.
   /// Inject a ManualClock for virtual-time breaker tests.
   const Clock* clock = nullptr;
@@ -74,13 +98,14 @@ struct ClientOptions {
   /// survive the refresh.
   std::function<std::vector<Endpoint>()> resolve_endpoints;
   /// Observes every per-endpoint breaker state change (callers publish these
-  /// to MonALISA). Runs inside the call path — keep it cheap.
+  /// to MonALISA). Runs inside the call path under the client's bookkeeping
+  /// lock — keep it cheap and never call back into this client.
   std::function<void(const Endpoint&, CircuitBreaker::State from,
                      CircuitBreaker::State to)>
       on_breaker_transition;
   /// When set, the client keeps per-endpoint rpc.client.<host:port>.*
-  /// attempt / retry / failure / breaker-transition counters. Must outlive
-  /// the client.
+  /// attempt / retry / failure / breaker-transition counters (and the pool
+  /// keeps rpc.pool.* counters). Must outlive the client.
   telemetry::MetricsRegistry* metrics = nullptr;
   /// When set, every call records one "client" span (child of the ambient
   /// thread context) to this tracer. Trace context is injected on the wire
@@ -112,18 +137,26 @@ struct RpcClientStats {
   /// NOT_PRIMARY faults whose "leader=host:port" hint was followed (the
   /// endpoint list was re-ordered and the call re-sent to the leader).
   std::uint64_t not_primary_redirects = 0;
+  /// Batches coalesced by call_many (items ride in batched_items).
+  std::uint64_t batches = 0;
+  std::uint64_t batched_items = 0;
 };
 
 class RpcClient {
  public:
   RpcClient(std::string host, std::uint16_t port, Protocol protocol = Protocol::kXmlRpc);
 
-  /// Failover list: endpoints are tried in order, skipping those whose
-  /// breaker is open; the earliest healthy endpoint is always preferred.
+  /// Failover list: endpoints are tried in order starting from the last
+  /// endpoint a call succeeded on (sticky), skipping those whose breaker is
+  /// open. Stickiness keeps a flapping earlier endpoint from stealing
+  /// traffic back from a healthy failover target mid-burst; traffic only
+  /// moves when the current endpoint fails or its breaker opens.
   RpcClient(std::vector<Endpoint> endpoints, Protocol protocol,
             ClientOptions options = {});
 
   /// Session token sent as x-clarens-session on every call ("" = none).
+  /// Not synchronised with in-flight calls — set it before sharing the
+  /// client across threads.
   void set_session_token(std::string token) { session_token_ = std::move(token); }
   const std::string& session_token() const { return session_token_; }
 
@@ -136,20 +169,35 @@ class RpcClient {
   Result<Value> call(const std::string& method, const Array& params,
                      const CallOptions& options);
 
-  /// Drops the cached connection (next call reconnects).
+  /// Coalesces the items into one rpc.batch round trip (one wire exchange,
+  /// one server admission ticket at the criticality of the most critical
+  /// item) and returns one Result per item, in order. Single-item batches
+  /// degrade to a plain call; a server without rpc.batch (NOT_FOUND) is
+  /// retried item-by-item so old peers keep working. A transport failure of
+  /// the batch itself is reported against every item.
+  std::vector<Result<Value>> call_many(const std::vector<BatchItem>& items);
+  std::vector<Result<Value>> call_many(const std::vector<BatchItem>& items,
+                                       const CallOptions& options);
+
+  /// Drops every pooled idle connection (in-flight calls keep theirs; the
+  /// next call dials fresh).
   void disconnect();
 
-  const RpcClientStats& stats() const { return stats_; }
+  /// Point-in-time copy of the counters.
+  RpcClientStats stats() const;
 
   /// Breaker state for endpoint `index` (construction order).
   CircuitBreaker::State breaker_state(std::size_t index) const;
-  std::size_t endpoint_count() const { return endpoints_.size(); }
-  const Endpoint& endpoint(std::size_t index) const { return endpoints_.at(index); }
+  std::size_t endpoint_count() const;
+  Endpoint endpoint(std::size_t index) const;
 
   /// Replaces the failover list now (what resolve_endpoints does lazily).
   /// Endpoints present in both lists keep their breaker state; an empty
   /// list is ignored.
   void set_endpoints(std::vector<Endpoint> endpoints);
+
+  /// The connection pool behind this client (shared or private).
+  ConnectionPool& pool() { return *pool_; }
 
  private:
   /// Pre-resolved rpc.client.<host:port>.* counter handles for one endpoint,
@@ -163,42 +211,57 @@ class RpcClient {
     telemetry::Counter* breaker_open = nullptr;
   };
 
-  /// Bumps the given cached counter for endpoint `index` (no-op without a
-  /// metrics registry).
+  /// A checked-out connection plus the endpoint index it belongs to.
+  struct Checkout {
+    ConnectionPool::Conn conn;
+    std::size_t index = 0;
+  };
+
+  /// Bumps the given cached counter for endpoint `index`. Caller holds
+  /// mutex_ (no-op without a metrics registry).
   void count_endpoint(std::size_t index, telemetry::Counter* EndpointCounters::*what);
-  /// Rebuilds endpoint_counters_ to mirror endpoints_.
+  /// Rebuilds endpoint_counters_ to mirror endpoints_. Caller holds mutex_.
   void arm_endpoint_counters();
   void arm_breaker_listener(CircuitBreaker& breaker, std::size_t index);
   std::unique_ptr<CircuitBreaker> make_breaker(std::size_t index);
+  void set_endpoints_locked(std::vector<Endpoint> endpoints);
   /// Runs resolve_endpoints when a breaker opened since the last call.
+  /// Caller must NOT hold mutex_ (the resolver may block on the registry).
   void maybe_re_resolve();
   /// One wire attempt. Sets `wrote_request` once request bytes may have
-  /// reached the server (the non-idempotent retry guard keys off this).
+  /// reached the server (the non-idempotent retry guard keys off this);
+  /// `attempt_index` reports which endpoint served (or last refused) it.
   Result<Value> call_attempt(const std::string& method, const Array& params,
-                             SimTime deadline, Criticality tier, bool& wrote_request);
+                             SimTime deadline, Criticality tier, bool& wrote_request,
+                             std::size_t& attempt_index);
 
-  /// Connects to the earliest endpoint whose breaker admits the call,
-  /// failing over down the list. UNAVAILABLE when every endpoint is open
-  /// or unreachable.
-  Status ensure_connected();
+  /// Checks a connection out for the earliest endpoint in sticky walk order
+  /// (starting at preferred_endpoint_) whose breaker admits the call.
+  /// UNAVAILABLE when every endpoint is open or unreachable.
+  Result<Checkout> acquire_connection();
 
   const Clock& clock() const { return *clock_ptr_; }
   /// Milliseconds until `deadline` (<= 0 means exhausted); deadline 0 = none.
   int remaining_ms(SimTime deadline) const;
 
-  std::vector<Endpoint> endpoints_;
   Protocol protocol_;
   ClientOptions options_;
   std::shared_ptr<Clock> owned_clock_;  // when no clock injected
   const Clock* clock_ptr_ = nullptr;
+  std::shared_ptr<ConnectionPool> pool_;
+  std::string session_token_;
+  std::atomic<std::int64_t> next_id_{1};
+
+  /// Guards every member below. Never held across connect/send/recv.
+  mutable std::mutex mutex_;
+  std::vector<Endpoint> endpoints_;
   std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
   std::vector<EndpointCounters> endpoint_counters_;  // parallel to endpoints_
-  std::string session_token_;
-  net::TcpStream stream_;
   bool needs_resolve_ = false;
-  bool connected_ = false;
-  std::size_t connected_endpoint_ = 0;
-  std::int64_t next_id_ = 1;
+  /// Where the failover walk starts: the endpoint of the last successful
+  /// attempt (the sticky-endpoint fix — previously every reconnect walked
+  /// from index 0 and a flapping primary stole traffic back mid-burst).
+  std::size_t preferred_endpoint_ = 0;
   RpcClientStats stats_;
 };
 

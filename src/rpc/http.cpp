@@ -121,10 +121,23 @@ Result<std::string> read_body(net::TcpStream& stream, std::string spill,
   std::size_t content_length = 0;
   auto it = headers.find("content-length");
   if (it != headers.end()) {
-    try {
-      content_length = static_cast<std::size_t>(std::stoull(it->second));
-    } catch (...) {
-      return invalid_argument_error("http: bad content-length: " + it->second);
+    // Strict parse: digits only, every byte checked, range-checked against
+    // the body cap as the digits accumulate (so "999...9" cannot wrap).
+    // stoull would silently accept a partial parse ("123abc" -> 123) and a
+    // leading sign ("-1" -> huge), desyncing the framing from what the peer
+    // actually sent.
+    const std::string& text = it->second;
+    if (text.empty()) {
+      return invalid_argument_error("http: bad content-length: empty");
+    }
+    for (const char c : text) {
+      if (c < '0' || c > '9') {
+        return invalid_argument_error("http: bad content-length: " + text);
+      }
+      content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
+      if (content_length > max_body_bytes) {
+        return invalid_argument_error("http: body too large");
+      }
     }
   }
   if (content_length > max_body_bytes) return invalid_argument_error("http: body too large");

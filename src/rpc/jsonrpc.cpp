@@ -197,14 +197,25 @@ class JsonParser {
         case 't': out.push_back('\t'); break;
         case 'u': {
           if (pos_ + 4 > in_.size()) return err("bad \\u escape");
-          const std::string hex = in_.substr(pos_, 4);
-          pos_ += 4;
+          // Exactly four hex digits, each validated. stoul would accept a
+          // partial parse ("12g3" -> 0x12) plus whitespace/sign prefixes,
+          // silently decoding garbage instead of rejecting it.
           unsigned code = 0;
-          try {
-            code = static_cast<unsigned>(std::stoul(hex, nullptr, 16));
-          } catch (...) {
-            return err("bad \\u escape");
+          for (std::size_t i = 0; i < 4; ++i) {
+            const char h = in_[pos_ + i];
+            unsigned digit = 0;
+            if (h >= '0' && h <= '9') {
+              digit = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              digit = static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              digit = static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              return err("bad \\u escape");
+            }
+            code = (code << 4) | digit;
           }
+          pos_ += 4;
           // Encode as UTF-8 (BMP only; surrogate pairs unsupported).
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));

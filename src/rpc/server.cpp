@@ -44,6 +44,68 @@ void Dispatcher::add_interceptor(Interceptor interceptor) {
   interceptors_.push_back(std::move(interceptor));
 }
 
+void Dispatcher::enable_batch(std::size_t max_items) {
+  register_method(
+      "rpc.batch",
+      [this, max_items](const Array& params, const CallContext& ctx) -> Result<Value> {
+        if (params.size() != 1 || !params[0].is_array()) {
+          return invalid_argument_error(
+              "rpc.batch expects one array parameter of embedded calls");
+        }
+        const Array& items = params[0].as_array();
+        if (items.size() > max_items) {
+          return invalid_argument_error("rpc.batch accepts at most " +
+                                        std::to_string(max_items) + " items, got " +
+                                        std::to_string(items.size()));
+        }
+        // Sub-calls reuse the batch's context — session, tier, and crucially
+        // deadline_us, so items dispatched after the caller's budget ran out
+        // are pre-rejected per item — but clear the wire trace: each item's
+        // server span should chain to the batch's own (now ambient) span,
+        // not re-parent to the remote client context.
+        CallContext sub = ctx;
+        sub.trace.clear();
+        Array out;
+        out.reserve(items.size());
+        for (const Value& item : items) {
+          auto one = [&]() -> Result<Value> {
+            try {
+              if (!item.is_struct()) {
+                return invalid_argument_error("batch item must be a struct");
+              }
+              const std::string method = item.get_string("method", "");
+              if (method.empty()) {
+                return invalid_argument_error("batch item lacks a method");
+              }
+              if (method == "rpc.batch") {
+                // One level only: nesting would let a single admission
+                // ticket cover max_items^depth dispatches.
+                return invalid_argument_error("nested rpc.batch is not allowed");
+              }
+              Array sub_params;
+              if (item.has("params")) sub_params = item.at("params").as_array();
+              return dispatch(method, sub_params, sub);
+            } catch (const std::exception& e) {
+              return invalid_argument_error(std::string("malformed batch item: ") +
+                                            e.what());
+            }
+          }();
+          // Per-item status: one failed item never poisons its siblings.
+          Struct entry;
+          if (one.is_ok()) {
+            entry["ok"] = true;
+            entry["result"] = std::move(one).value();
+          } else {
+            entry["ok"] = false;
+            entry["code"] = status_to_fault_code(one.status().code());
+            entry["message"] = one.status().message();
+          }
+          out.push_back(Value(std::move(entry)));
+        }
+        return Value(std::move(out));
+      });
+}
+
 void Dispatcher::set_telemetry(telemetry::MetricsRegistry* metrics,
                                telemetry::Tracer* tracer, std::string service_name) {
   metrics_ = metrics;
@@ -242,6 +304,21 @@ void RpcServer::serve_connection(net::TcpStream stream, std::int64_t accepted_at
         if (options_.metrics) {
           options_.metrics->counter("rpc.server.connections_timed_out").inc();
         }
+      } else if (reqr.status().code() == StatusCode::kInvalidArgument) {
+        // Malformed framing (bad request line, unparseable content-length,
+        // oversized header/body). Tell the peer why before closing — a
+        // best-effort 400; a write failure here changes nothing, the
+        // connection is closing either way.
+        GAE_LOG(Debug) << "rpc request framing error: " << reqr.status();
+        if (options_.metrics) {
+          options_.metrics->counter("rpc.server.bad_requests").inc();
+        }
+        http::Response bad;
+        bad.status_code = 400;
+        bad.reason = "Bad Request";
+        bad.headers["content-type"] = "text/plain";
+        bad.body = reqr.status().message() + "\n";
+        (void)http::write_response(stream, bad, /*keep_alive=*/false);
       } else if (reqr.status().code() != StatusCode::kUnavailable) {
         // Clean close of a kept-alive connection is routine; anything else
         // is worth a log line.

@@ -70,6 +70,17 @@ class Dispatcher {
   using Interceptor = std::function<Status(const std::string& method, const CallContext& ctx)>;
   void add_interceptor(Interceptor interceptor);
 
+  /// Registers the "rpc.batch" multi-call method: params = [[{method,
+  /// params}, ...]], result = one {ok, result | code+message} struct per
+  /// item, in order. The batch rides one wire exchange and one admission
+  /// ticket (the client stamps the x-gae-tier header with the most critical
+  /// item's tier); each item then dispatches through the normal pipeline —
+  /// interceptors, per-method metrics, and a per-item server span chained to
+  /// the batch's span. Items past `max_items` are refused, as is a nested
+  /// rpc.batch. The call's remaining deadline applies to every item, so
+  /// items after the budget runs out are pre-rejected, not silently skipped.
+  void enable_batch(std::size_t max_items = 64);
+
   /// Arms telemetry on every dispatch, whichever transport it arrives by
   /// (TCP worker or in-process call): a "server" span per request — child of
   /// the wire context in ctx.trace, or of the ambient span for in-process

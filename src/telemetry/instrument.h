@@ -60,4 +60,39 @@ class TracedRegistrar {
   MetricsRegistry* metrics_;
 };
 
+/// Pre-resolved cache telemetry under one prefix: "<prefix>.{hits,misses,
+/// invalidations}" counters plus a "<prefix>.entries" gauge. Resolving the
+/// handles once at construction keeps registry-name building and registry
+/// locks off cache hot paths; a null registry leaves every handle null and
+/// the recording methods become no-ops.
+struct CacheCounters {
+  Counter* hits = nullptr;
+  Counter* misses = nullptr;
+  Counter* invalidations = nullptr;
+  Gauge* entries = nullptr;
+
+  CacheCounters() = default;
+  CacheCounters(MetricsRegistry* registry, const std::string& prefix) {
+    if (!registry) return;
+    hits = &registry->counter(prefix + ".hits");
+    misses = &registry->counter(prefix + ".misses");
+    invalidations = &registry->counter(prefix + ".invalidations");
+    entries = &registry->gauge(prefix + ".entries");
+  }
+
+  void hit() const {
+    if (hits) hits->inc();
+  }
+  void miss() const {
+    if (misses) misses->inc();
+  }
+  void invalidated(std::uint64_t n = 1) const {
+    if (invalidations && n > 0) invalidations->inc(n);
+  }
+  /// Entry-count delta (+1 insert, -n drop).
+  void resized(std::int64_t delta) const {
+    if (entries && delta != 0) entries->add(delta);
+  }
+};
+
 }  // namespace gae::telemetry

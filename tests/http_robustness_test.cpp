@@ -90,6 +90,68 @@ TEST_F(RawSocketTest, TruncatedBodyHandled) {
   EXPECT_TRUE(client.call("echo", {Value(1)}).is_ok());
 }
 
+// Fuzz-style regression table: every malformed framing below must produce a
+// 400 Bad Request or a clean close — never a crash, a hang, or a desynced
+// parse that treats part of the garbage as a valid request. After each
+// probe the server must still answer a well-formed call.
+TEST_F(RawSocketTest, MalformedFramingTableNeverKillsTheServer) {
+  const struct {
+    const char* name;
+    std::string bytes;
+  } kCases[] = {
+      {"empty request line", "\r\n\r\n"},
+      {"request line without path", "POST\r\n\r\n"},
+      {"header without colon", "POST /rpc HTTP/1.1\r\nno-colon-here\r\n\r\n"},
+      {"partial-parse content-length", "POST /rpc HTTP/1.1\r\ncontent-length: 123abc\r\n\r\n"},
+      {"signed content-length", "POST /rpc HTTP/1.1\r\ncontent-length: +5\r\n\r\nhello"},
+      {"negative content-length", "POST /rpc HTTP/1.1\r\ncontent-length: -1\r\n\r\n"},
+      {"hex content-length", "POST /rpc HTTP/1.1\r\ncontent-length: 0x10\r\n\r\n"},
+      {"empty content-length", "POST /rpc HTTP/1.1\r\ncontent-length:\r\n\r\n"},
+      {"overflowing content-length",
+       "POST /rpc HTTP/1.1\r\ncontent-length: 99999999999999999999999999\r\n\r\n"},
+      {"content-length with inner space", "POST /rpc HTTP/1.1\r\ncontent-length: 1 2\r\n\r\n"},
+      {"bare lf framing garbage", "POST /rpc HTTP/1.1\ncontent-length nonsense\n\n"},
+      {"binary garbage", std::string("\xff\xfe\x00\x01\x02garbage\x80\x81", 14)},
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.name);
+    const std::string resp = send_raw(c.bytes);
+    // Either the server said 400 or it closed without a byte; a 200 would
+    // mean garbage framing was accepted as a request.
+    if (!resp.empty()) {
+      EXPECT_EQ(resp.rfind("HTTP/1.1 400", 0), 0u) << "got: " << resp.substr(0, 64);
+    }
+    RpcClient client("127.0.0.1", port_);
+    auto r = client.call("echo", {Value(1)});
+    ASSERT_TRUE(r.is_ok()) << "server unserviceable after '" << c.name
+                           << "': " << r.status();
+  }
+
+  // Hostile-but-parseable inputs: these may legally frame as (bad) requests
+  // and draw an RPC fault instead of a 400; the only requirement is that the
+  // server neither crashes nor wedges.
+  const std::string kLenient[] = {
+      std::string("POST /rpc HTTP/1.1\r\nx\0y: 1\r\n\r\n", 30),  // NUL in header
+      "POST /rpc HTTP/1.1\r\ncontent-length: 0\r\n\r\ntrailing-bytes",
+      "POST /rpc HTTP/1.1\r\n: no-name\r\n\r\n",
+  };
+  for (const auto& bytes : kLenient) {
+    (void)send_raw(bytes);
+    RpcClient client("127.0.0.1", port_);
+    ASSERT_TRUE(client.call("echo", {Value(1)}).is_ok());
+  }
+}
+
+TEST_F(RawSocketTest, MalformedContentLengthGets400) {
+  // Regression: content-length went through stoull, which accepts a partial
+  // parse — "123abc" framed a 123-byte body out of garbage. Strict parsing
+  // now answers 400 before closing, so well-behaved peers see the reason.
+  const std::string resp =
+      send_raw("POST /rpc HTTP/1.1\r\ncontent-length: 123abc\r\n\r\n");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 400", 0), 0u) << resp.substr(0, 64);
+  EXPECT_NE(resp.find("content-length"), std::string::npos);
+}
+
 TEST_F(RawSocketTest, BadXmlBodyYieldsFaultResponse) {
   const std::string body = "this is not xml";
   const std::string req = "POST /rpc HTTP/1.1\r\ncontent-type: text/xml\r\ncontent-length: " +

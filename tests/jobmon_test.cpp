@@ -4,6 +4,7 @@
 
 #include "clarens/host.h"
 #include "common/clock.h"
+#include "jobmon/read_cache.h"
 #include "jobmon/rpc_binding.h"
 #include "sim/load.h"
 
@@ -230,6 +231,60 @@ TEST_F(JobMonTest, RpcBindingRoundTrip) {
 
   // Service registered itself for discovery.
   EXPECT_TRUE(host.registry().lookup("jobmon@jm-host").is_ok());
+}
+
+TEST_F(JobMonTest, ReadCacheServesRepeatsAndInvalidatesOnTransitions) {
+  ManualClock clock;
+  clarens::HostOptions opts;
+  opts.require_auth = false;
+  clarens::ClarensHost host("jm-host", clock, opts);
+
+  std::int64_t fake_now = 0;
+  ReadCacheOptions cache_options;
+  cache_options.ttl_ms = 1000;
+  cache_options.now_us = [&fake_now] { return fake_now; };
+  ReadCache cache(cache_options);
+  register_jobmon_methods(host, *jms_, nullptr, nullptr, nullptr, 2000, &cache);
+
+  estimates_->put("t1", 100.0);
+  ASSERT_TRUE(exec_a_->submit(spec("t1", 100)).is_ok());
+  sim_.run_until(from_seconds(25));
+  // The QUEUED/STAGING/RUNNING transitions already invalidated (empty) keys.
+  const auto baseline_invalidations = cache.stats().invalidations;
+
+  // First read misses and populates; the repeat is served from the cache
+  // and carries the stale marker.
+  auto first = host.call("jobmon.info", {rpc::Value("t1")});
+  ASSERT_TRUE(first.is_ok()) << first.status();
+  EXPECT_FALSE(first.value().get_bool("stale", true));
+  auto second = host.call("jobmon.info", {rpc::Value("t1")});
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_TRUE(second.value().get_bool("stale", false));
+  EXPECT_EQ(second.value().get_string("status", ""), "RUNNING");
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // status and list ride the cache too.
+  ASSERT_TRUE(host.call("jobmon.status", {rpc::Value("t1")}).is_ok());
+  EXPECT_EQ(host.call("jobmon.status", {rpc::Value("t1")}).value().as_string(),
+            "RUNNING");
+  ASSERT_TRUE(host.call("jobmon.list", {}).is_ok());
+  ASSERT_TRUE(host.call("jobmon.list", {}).is_ok());
+  EXPECT_GE(cache.stats().hits, 3u);
+
+  // The collector's completion transition invalidates, so the next read is
+  // fresh — not a TTL-stale RUNNING snapshot.
+  sim_.run_until(from_seconds(200));
+  EXPECT_GT(cache.stats().invalidations, baseline_invalidations);
+  auto after = host.call("jobmon.info", {rpc::Value("t1")});
+  ASSERT_TRUE(after.is_ok()) << after.status();
+  EXPECT_FALSE(after.value().get_bool("stale", true));
+  EXPECT_EQ(after.value().get_string("status", ""), "COMPLETED");
+
+  // And entries age out on their own: past the TTL the repeat re-misses.
+  const auto misses_before = cache.stats().misses;
+  fake_now += 2'000'000;
+  ASSERT_TRUE(host.call("jobmon.info", {rpc::Value("t1")}).is_ok());
+  EXPECT_GT(cache.stats().misses, misses_before);
 }
 
 }  // namespace

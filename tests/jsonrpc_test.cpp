@@ -47,6 +47,22 @@ TEST(Json, DecodeUnicodeEscapes) {
   auto v = json::decode(R"("Aé")");
   ASSERT_TRUE(v.is_ok());
   EXPECT_EQ(v.value().as_string(), "A\xC3\xA9");  // 'A' + e-acute in UTF-8
+  EXPECT_EQ(json::decode(R"("\u0041")").value().as_string(), "A");
+  EXPECT_EQ(json::decode(R"("\u00e9")").value().as_string(), "\xC3\xA9");
+  EXPECT_EQ(json::decode(R"("\u20AC")").value().as_string(), "\xE2\x82\xAC");  // €
+}
+
+TEST(Json, MalformedUnicodeEscapesRejected) {
+  // Regression: the hex quad used to go through stoul, which accepts a
+  // partial parse — "\u12g3" decoded as 0x12 and "\u 041" as whitespace-
+  // prefixed garbage. Every escape must be exactly four hex digits.
+  EXPECT_FALSE(json::decode(R"("\u12g3")").is_ok());
+  EXPECT_FALSE(json::decode(R"("\uzzzz")").is_ok());
+  EXPECT_FALSE(json::decode(R"("\u 041")").is_ok());
+  EXPECT_FALSE(json::decode(R"("\u+041")").is_ok());
+  EXPECT_FALSE(json::decode(R"("\u12")").is_ok());   // truncated quad
+  EXPECT_FALSE(json::decode(R"("\u")").is_ok());     // nothing at all
+  EXPECT_FALSE(json::decode("\"\\u00\"").is_ok());   // closing quote inside quad
 }
 
 TEST(Json, WhitespaceTolerated) {
