@@ -51,6 +51,22 @@ std::uint32_t frame_crc(WalRecord::Type type, const std::string& payload) {
   return crc32(buf);
 }
 
+// True when any well-formed frame (fitting length, known type, matching
+// CRC) starts at or after `from`. A genuine torn tail is the suffix of one
+// partial append — random payload bytes that validate as a frame with
+// probability ~2^-32 — so a hit here means an earlier length prefix is
+// lying, not that the file ended mid-write.
+bool contains_valid_frame(const std::string& bytes, std::size_t from) {
+  for (std::size_t at = from; at + kHeaderBytes <= bytes.size(); ++at) {
+    const std::uint32_t len = get_u32(bytes, at);
+    if (bytes.size() - at - kHeaderBytes < len) continue;
+    const auto type_byte = static_cast<unsigned char>(bytes[at + 8]);
+    if (type_byte > static_cast<unsigned char>(WalRecord::Type::kSnapshot)) continue;
+    if (crc32(bytes.data() + at + 8, len + 1) == get_u32(bytes, at + 4)) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t size) {
@@ -221,7 +237,18 @@ WalReadResult Wal::decode(const std::string& bytes) {
     const std::uint32_t len = get_u32(bytes, at);
     const std::uint32_t crc = get_u32(bytes, at + 4);
     if (bytes.size() - at - kHeaderBytes < len) {
-      result.torn_tail = true;
+      // An incomplete final frame is the normal crash artifact — but only
+      // when nothing decodable follows it. A corrupted length prefix lands
+      // here too (the inflated length runs past end-of-log), and calling
+      // that a torn tail would silently drop every intact frame behind the
+      // damage without quarantining the store. If the "torn" region still
+      // contains a well-formed frame, the length field is lying: that is
+      // corruption, and recovery must say so.
+      if (contains_valid_frame(bytes, at + 1)) {
+        result.corrupt = true;
+      } else {
+        result.torn_tail = true;
+      }
       break;
     }
     // Type byte and payload are contiguous on the wire; checksum both.

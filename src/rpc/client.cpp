@@ -74,6 +74,7 @@ RpcClient::RpcClient(std::vector<Endpoint> endpoints, Protocol protocol,
     PoolOptions pool_options = options_.pool;
     if (!pool_options.clock) pool_options.clock = clock_ptr_;
     if (!pool_options.metrics) pool_options.metrics = options_.metrics;
+    if (!pool_options.transport) pool_options.transport = options_.transport;
     pool_ = std::make_shared<ConnectionPool>(pool_options);
   }
   breakers_.reserve(endpoints_.size());
@@ -411,7 +412,7 @@ Result<Value> RpcClient::call_attempt(const std::string& method, const Array& pa
     if (index < breakers_.size()) breakers_[index]->record_failure();
   };
 
-  net::TcpStream& stream = checkout.conn.stream;
+  Stream& stream = *checkout.conn.stream;
   int wire_deadline_ms = -1;
   if (deadline > 0) {
     const int rem = remaining_ms(deadline);

@@ -21,7 +21,6 @@
 #include "common/clock.h"
 #include "common/retry.h"
 #include "common/status.h"
-#include "net/socket.h"
 #include "rpc/pool.h"
 #include "rpc/value.h"
 #include "telemetry/metrics.h"
@@ -88,6 +87,10 @@ struct ClientOptions {
   /// Time source for deadlines and the breakers; null = a shared wall clock.
   /// Inject a ManualClock for virtual-time breaker tests.
   const Clock* clock = nullptr;
+  /// Byte transport for the client's own pool (ignored when shared_pool is
+  /// set — a shared pool brings its own); null = the process-wide TCP
+  /// transport. Must outlive the client.
+  Transport* transport = nullptr;
   /// Backoff sleeper; null = real sleep. Tests inject a recorder.
   std::function<void(int ms)> sleep_ms;
   /// Re-resolves the failover list (typically from the Clarens registry).

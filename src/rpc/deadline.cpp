@@ -1,5 +1,6 @@
 #include "rpc/deadline.h"
 
+#include <atomic>
 #include <chrono>
 
 namespace gae::rpc {
@@ -8,12 +9,21 @@ namespace {
 
 thread_local std::int64_t g_ambient_deadline_us = 0;
 
+std::atomic<const Clock*> g_steady_override{nullptr};
+
 }  // namespace
 
 std::int64_t steady_now_us() {
+  if (const Clock* clock = g_steady_override.load(std::memory_order_relaxed)) {
+    return clock->now();
+  }
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+void set_steady_clock_override(const Clock* clock) {
+  g_steady_override.store(clock, std::memory_order_relaxed);
 }
 
 std::int64_t ambient_deadline_us() { return g_ambient_deadline_us; }

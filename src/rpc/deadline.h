@@ -13,13 +13,21 @@
 
 #include <cstdint>
 
+#include "common/clock.h"
+
 namespace gae::rpc {
 
-/// Monotonic microseconds (std::chrono::steady_clock). The deadline plane
-/// uses the steady clock rather than an injected Clock because it must agree
-/// across every component of a process — dispatcher, handler, client — and
-/// is never simulated (virtual-time tests script deadlines directly).
+/// Monotonic microseconds (std::chrono::steady_clock by default). The
+/// deadline plane uses one process-wide time source rather than per-object
+/// injected Clocks because it must agree across every component — 
+/// dispatcher, handler, client. The deterministic-simulation harness
+/// substitutes its virtual clock process-wide via set_steady_clock_override.
 std::int64_t steady_now_us();
+
+/// Routes steady_now_us() through `clock` (null restores the real steady
+/// clock). For the DST harness only: install before any traffic, from the
+/// simulation's single thread; `clock` must outlive the override.
+void set_steady_clock_override(const Clock* clock);
 
 /// The calling thread's ambient deadline as an absolute steady instant
 /// (µs); 0 = no deadline in scope.

@@ -28,7 +28,7 @@ struct HeadAndSpill {
   std::string spill;
 };
 
-Result<HeadAndSpill> read_head(net::TcpStream& stream, std::size_t max_header_bytes) {
+Result<HeadAndSpill> read_head(Stream& stream, std::size_t max_header_bytes) {
   std::string buf;
   char chunk[4096];
   for (;;) {
@@ -115,7 +115,7 @@ Status parse_headers(std::istringstream& lines, std::map<std::string, std::strin
   return Status::ok();
 }
 
-Result<std::string> read_body(net::TcpStream& stream, std::string spill,
+Result<std::string> read_body(Stream& stream, std::string spill,
                               const std::map<std::string, std::string>& headers,
                               std::size_t max_body_bytes) {
   std::size_t content_length = 0;
@@ -172,7 +172,7 @@ std::string Response::header(const std::string& key, const std::string& fallback
   return it == headers.end() ? fallback : it->second;
 }
 
-Result<Request> read_request(net::TcpStream& stream, const ReadLimits& limits) {
+Result<Request> read_request(Stream& stream, const ReadLimits& limits) {
   auto head = read_head(stream, limits.max_header_bytes);
   if (!head.is_ok()) return head.status();
 
@@ -198,7 +198,7 @@ Result<Request> read_request(net::TcpStream& stream, const ReadLimits& limits) {
   return req;
 }
 
-Status write_request(net::TcpStream& stream, const Request& req) {
+Status write_request(Stream& stream, const Request& req) {
   std::ostringstream out;
   out << req.method << ' ' << req.path << " HTTP/1.1\r\n";
   bool have_host = false;
@@ -220,7 +220,7 @@ Status write_request(net::TcpStream& stream, const Request& req) {
   return stream.write_all(out.str());
 }
 
-Result<Response> read_response(net::TcpStream& stream, const ReadLimits& limits) {
+Result<Response> read_response(Stream& stream, const ReadLimits& limits) {
   auto head = read_head(stream, limits.max_header_bytes);
   if (!head.is_ok()) return head.status();
 
@@ -248,7 +248,7 @@ Result<Response> read_response(net::TcpStream& stream, const ReadLimits& limits)
   return resp;
 }
 
-Status write_response(net::TcpStream& stream, const Response& resp, bool keep_alive) {
+Status write_response(Stream& stream, const Response& resp, bool keep_alive) {
   std::ostringstream out;
   out << "HTTP/1.1 " << resp.status_code << ' ' << resp.reason << "\r\n";
   for (const auto& [k, v] : resp.headers) {

@@ -6,7 +6,7 @@
 #include <string>
 
 #include "common/status.h"
-#include "net/socket.h"
+#include "rpc/transport.h"
 
 namespace gae::rpc::http {
 
@@ -50,12 +50,32 @@ struct ReadLimits {
 /// Reads one request from the stream. UNAVAILABLE on clean EOF before any
 /// bytes (peer closed a kept-alive connection), INVALID_ARGUMENT on garbage,
 /// DEADLINE_EXCEEDED when the stream's receive timeout expires.
-Result<Request> read_request(net::TcpStream& stream, const ReadLimits& limits = {});
+Result<Request> read_request(Stream& stream, const ReadLimits& limits = {});
 
-Status write_request(net::TcpStream& stream, const Request& req);
+Status write_request(Stream& stream, const Request& req);
 
-Result<Response> read_response(net::TcpStream& stream, const ReadLimits& limits = {});
+Result<Response> read_response(Stream& stream, const ReadLimits& limits = {});
 
-Status write_response(net::TcpStream& stream, const Response& resp, bool keep_alive);
+Status write_response(Stream& stream, const Response& resp, bool keep_alive);
+
+// Raw-socket overloads for call sites that hold a bare net::TcpStream
+// (tests, the fault-injecting proxy): same framing through a borrowed
+// Stream adapter.
+inline Result<Request> read_request(net::TcpStream& stream, const ReadLimits& limits = {}) {
+  BorrowedTcpStream adapter(stream);
+  return read_request(static_cast<Stream&>(adapter), limits);
+}
+inline Status write_request(net::TcpStream& stream, const Request& req) {
+  BorrowedTcpStream adapter(stream);
+  return write_request(static_cast<Stream&>(adapter), req);
+}
+inline Result<Response> read_response(net::TcpStream& stream, const ReadLimits& limits = {}) {
+  BorrowedTcpStream adapter(stream);
+  return read_response(static_cast<Stream&>(adapter), limits);
+}
+inline Status write_response(net::TcpStream& stream, const Response& resp, bool keep_alive) {
+  BorrowedTcpStream adapter(stream);
+  return write_response(static_cast<Stream&>(adapter), resp, keep_alive);
+}
 
 }  // namespace gae::rpc::http

@@ -1,9 +1,5 @@
 #include "rpc/pool.h"
 
-#include <sys/socket.h>
-
-#include <cerrno>
-
 namespace gae::rpc {
 
 namespace {
@@ -21,6 +17,7 @@ ConnectionPool::ConnectionPool(PoolOptions options) : options_(options) {
     owned_clock_ = std::make_shared<WallClock>();
     clock_ = owned_clock_.get();
   }
+  transport_ = options_.transport ? options_.transport : &tcp_transport();
   arm_metrics();
 }
 
@@ -33,17 +30,6 @@ void ConnectionPool::arm_metrics() {
   m_discards_ = &options_.metrics->counter("rpc.pool.discards");
   m_overflow_ = &options_.metrics->counter("rpc.pool.overflow");
   m_idle_gauge_ = &options_.metrics->gauge("rpc.pool.idle");
-}
-
-bool ConnectionPool::healthy(const net::TcpStream& stream) {
-  if (!stream.valid()) return false;
-  // A non-blocking one-byte peek distinguishes the three states of a parked
-  // keep-alive connection: EAGAIN = quiet and open (healthy), 0 = the peer
-  // closed it while parked, >0 = unread bytes from a desynced exchange.
-  char probe = 0;
-  const ssize_t n = ::recv(stream.fd(), &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-  if (n < 0) return errno == EAGAIN || errno == EWOULDBLOCK;
-  return false;
 }
 
 Result<ConnectionPool::Conn> ConnectionPool::checkout(const std::string& host,
@@ -61,7 +47,7 @@ Result<ConnectionPool::Conn> ConnectionPool::checkout(const std::string& host,
       IdleConn parked = std::move(pool.idle.back());
       pool.idle.pop_back();
       if (m_idle_gauge_) m_idle_gauge_->add(-1);
-      if (options_.health_check && !healthy(parked.stream)) {
+      if (options_.health_check && !parked.stream->healthy()) {
         ++stats_.health_evictions;
         if (m_health_evictions_) m_health_evictions_->inc();
         continue;  // destructor closes the dead socket
@@ -84,7 +70,7 @@ Result<ConnectionPool::Conn> ConnectionPool::checkout(const std::string& host,
     }
   }
 
-  auto stream = net::TcpStream::connect(host, port);
+  auto stream = transport_->connect(host, port);
   if (!stream.is_ok()) {
     if (!overflow) {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -99,14 +85,14 @@ Result<ConnectionPool::Conn> ConnectionPool::checkout(const std::string& host,
   if (m_dials_) m_dials_->inc();
   Conn conn;
   conn.stream = std::move(stream).value();
-  conn.stream.set_no_delay(true);
+  conn.stream->set_no_delay(true);
   conn.key = key;
   conn.overflow = overflow;
   return conn;
 }
 
 void ConnectionPool::checkin(Conn conn) {
-  if (!conn.stream.valid()) return;
+  if (!conn.stream || !conn.stream->valid()) return;
   const SimTime now = clock_->now();
   std::lock_guard<std::mutex> lock(mutex_);
   EndpointPool& pool = pools_[conn.key];

@@ -12,12 +12,13 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "common/clock.h"
 #include "common/status.h"
-#include "net/socket.h"
+#include "rpc/transport.h"
 #include "telemetry/metrics.h"
 
 namespace gae::rpc {
@@ -41,6 +42,10 @@ struct PoolOptions {
   bool health_check = true;
   /// Time source for idle ages; null = a shared wall clock.
   const Clock* clock = nullptr;
+  /// Byte transport the pool dials through; null = the process-wide TCP
+  /// transport. The simulation harness injects its SimTransport here. Must
+  /// outlive the pool.
+  Transport* transport = nullptr;
   /// When set, the pool keeps rpc.pool.{dials,reuses,health_evictions,
   /// idle_reaped,discards,overflow} counters and an rpc.pool.idle gauge.
   /// Must outlive the pool.
@@ -65,7 +70,7 @@ class ConnectionPool {
   /// exchange or discard() after any transport error; destroying it
   /// without either simply closes the socket (counted as a discard).
   struct Conn {
-    net::TcpStream stream;
+    std::unique_ptr<Stream> stream;
     /// True when the connection came off the idle list — a request that
     /// fails instantly on a reused connection may have raced the peer's
     /// keep-alive close, so callers treat that failure as retryable even
@@ -105,7 +110,7 @@ class ConnectionPool {
 
  private:
   struct IdleConn {
-    net::TcpStream stream;
+    std::unique_ptr<Stream> stream;
     SimTime parked_at = 0;
   };
   struct EndpointPool {
@@ -113,14 +118,13 @@ class ConnectionPool {
     std::size_t checked_out = 0;
   };
 
-  /// True when the idle socket is still usable (no EOF, no unread bytes).
-  static bool healthy(const net::TcpStream& stream);
   void reap_idle_locked(SimTime now);
   void arm_metrics();
 
   PoolOptions options_;
   std::shared_ptr<Clock> owned_clock_;  // when no clock injected
   const Clock* clock_ = nullptr;
+  Transport* transport_ = nullptr;
 
   mutable std::mutex mutex_;
   std::map<std::string, EndpointPool> pools_;

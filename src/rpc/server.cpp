@@ -1,14 +1,11 @@
 #include "rpc/server.h"
 
-#include <sys/socket.h>
-
 #include <chrono>
 #include <optional>
 #include <stdexcept>
 
 #include "common/log.h"
 #include "rpc/deadline.h"
-#include "rpc/http.h"
 #include "rpc/jsonrpc.h"
 #include "rpc/xmlrpc.h"
 
@@ -177,6 +174,77 @@ Result<Value> Dispatcher::dispatch(const std::string& method, const Array& param
 
 int status_to_fault_code(StatusCode code) { return 100 + static_cast<int>(code); }
 
+bool rpc_request_is_json(const http::Request& req) {
+  return req.header("content-type", "text/xml").find("json") != std::string::npos;
+}
+
+CallContext rpc_context_from_request(const http::Request& req, std::int64_t picked_up_us,
+                                     std::int64_t queue_delay_us) {
+  CallContext ctx;
+  ctx.session_token = req.header("x-clarens-session");
+  ctx.protocol = rpc_request_is_json(req) ? "jsonrpc" : "xmlrpc";
+  // Trace context rides the x-gae-trace header; the body's reserved trace
+  // field is the fallback for paths that strip transport headers.
+  ctx.trace = req.trace;
+  ctx.tier = criticality_from_wire(req.tier);
+  // Deadline off the wire: remaining milliseconds at client send time, minus
+  // whatever time the request already spent queued before being served.
+  if (req.deadline_ms >= 0) {
+    const std::int64_t budget_us =
+        static_cast<std::int64_t>(req.deadline_ms) * 1000 - queue_delay_us;
+    ctx.deadline_us = picked_up_us + (budget_us > 0 ? budget_us : 0);
+  }
+  return ctx;
+}
+
+http::Response rpc_dispatch_request(
+    const http::Request& req, CallContext ctx,
+    const std::function<Result<Value>(const std::string& method, const Array& params,
+                                      const CallContext& ctx)>& dispatch) {
+  const bool is_json = rpc_request_is_json(req);
+  http::Response resp;
+  resp.headers["content-type"] = is_json ? "application/json" : "text/xml";
+  if (is_json) {
+    auto call = jsonrpc::decode_call(req.body);
+    if (!call.is_ok()) {
+      resp.body = jsonrpc::encode_fault(status_to_fault_code(call.status().code()),
+                                        call.status().message(), 0);
+    } else {
+      if (ctx.trace.empty()) ctx.trace = call.value().trace;
+      auto result = dispatch(call.value().method, call.value().params, ctx);
+      resp.body = result.is_ok()
+                      ? jsonrpc::encode_response(result.value(), call.value().id)
+                      : jsonrpc::encode_fault(status_to_fault_code(result.status().code()),
+                                              result.status().message(), call.value().id);
+    }
+  } else {
+    auto call = xmlrpc::decode_call(req.body);
+    if (!call.is_ok()) {
+      resp.body = xmlrpc::encode_fault(status_to_fault_code(call.status().code()),
+                                       call.status().message());
+    } else {
+      if (ctx.trace.empty()) ctx.trace = call.value().trace;
+      auto result = dispatch(call.value().method, call.value().params, ctx);
+      resp.body = result.is_ok()
+                      ? xmlrpc::encode_response(result.value())
+                      : xmlrpc::encode_fault(status_to_fault_code(result.status().code()),
+                                             result.status().message());
+    }
+  }
+  return resp;
+}
+
+http::Response rpc_shed_response(bool is_json) {
+  const int fault = status_to_fault_code(StatusCode::kResourceExhausted);
+  const std::string msg = "server overloaded: request shed";
+  http::Response resp;
+  resp.headers["content-type"] = is_json ? "application/json" : "text/xml";
+  resp.status_code = 503;
+  resp.reason = "Service Unavailable";
+  resp.body = is_json ? jsonrpc::encode_fault(fault, msg, 0) : xmlrpc::encode_fault(fault, msg);
+  return resp;
+}
+
 StatusCode fault_code_to_status(int fault_code) {
   const int raw = fault_code - 100;
   if (raw < 0 || raw > static_cast<int>(StatusCode::kNotPrimary)) return StatusCode::kInternal;
@@ -189,10 +257,11 @@ RpcServer::RpcServer(std::shared_ptr<Dispatcher> dispatcher, ServerOptions optio
 RpcServer::~RpcServer() { stop(); }
 
 Result<std::uint16_t> RpcServer::start() {
-  auto listener = net::TcpListener::bind(options_.port);
+  Transport& transport = options_.transport ? *options_.transport : tcp_transport();
+  auto listener = transport.listen(options_.port);
   if (!listener.is_ok()) return listener.status();
   listener_ = std::move(listener).value();
-  port_ = listener_.port();
+  port_ = listener_->port();
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
   if (options_.metrics && options_.admission) {
     shed_counter_ = &options_.metrics->counter("rpc.server.requests_shed");
@@ -210,31 +279,31 @@ void RpcServer::stop() {
     if (acceptor_.joinable()) acceptor_.join();
     return;
   }
-  listener_.close();
+  if (listener_) listener_->close();
   if (acceptor_.joinable()) acceptor_.join();
   {
-    // Kick workers out of blocking recv on kept-alive connections.
+    // Kick workers out of blocking reads on kept-alive connections.
     std::lock_guard<std::mutex> lock(conns_mutex_);
-    for (int fd : active_conns_) ::shutdown(fd, SHUT_RDWR);
+    for (Stream* stream : active_conns_) stream->shutdown_both();
   }
   if (pool_) pool_->shutdown(false);
 }
 
-void RpcServer::register_connection(int fd) {
+void RpcServer::register_connection(Stream* stream) {
   std::lock_guard<std::mutex> lock(conns_mutex_);
-  active_conns_.insert(fd);
+  active_conns_.insert(stream);
 }
 
-void RpcServer::unregister_connection(int fd) {
+void RpcServer::unregister_connection(Stream* stream) {
   std::lock_guard<std::mutex> lock(conns_mutex_);
-  active_conns_.erase(fd);
+  active_conns_.erase(stream);
 }
 
 void RpcServer::accept_loop() {
   const std::size_t max_in_flight =
       options_.max_in_flight > 0 ? options_.max_in_flight : 2 * options_.num_workers;
   while (running_.load()) {
-    auto stream = listener_.accept();
+    auto stream = listener_->accept();
     if (!stream.is_ok()) {
       if (running_.load()) {
         GAE_LOG(Warn) << "rpc accept failed: " << stream.status();
@@ -256,9 +325,9 @@ void RpcServer::accept_loop() {
     // connection spends waiting for a worker against both the CoDel queue
     // bound and the first request's deadline budget.
     const std::int64_t accepted_at_us = steady_now_us();
-    auto conn = std::make_shared<net::TcpStream>(std::move(stream).value());
+    std::shared_ptr<Stream> conn = std::move(stream).value();
     const bool ok = pool_->submit([this, conn, accepted_at_us]() mutable {
-      serve_connection(std::move(*conn), accepted_at_us);
+      serve_connection(*conn, accepted_at_us);
       const auto remaining = in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1;
       if (options_.metrics) {
         options_.metrics->gauge("rpc.server.connections")
@@ -281,17 +350,17 @@ void RpcServer::accept_loop() {
   }
 }
 
-void RpcServer::serve_connection(net::TcpStream stream, std::int64_t accepted_at_us) {
+void RpcServer::serve_connection(Stream& stream, std::int64_t accepted_at_us) {
   stream.set_no_delay(true);
   if (options_.recv_timeout_ms > 0) stream.set_recv_timeout_ms(options_.recv_timeout_ms);
-  register_connection(stream.fd());
-  // Unregister before the stream's destructor closes the fd, so stop()
-  // never calls shutdown() on an already-recycled descriptor.
+  register_connection(&stream);
+  // Unregister before the caller releases the stream, so stop() never calls
+  // shutdown_both() on a destroyed object.
   struct Deregister {
     RpcServer* server;
-    int fd;
-    ~Deregister() { server->unregister_connection(fd); }
-  } deregister{this, stream.fd()};
+    Stream* stream;
+    ~Deregister() { server->unregister_connection(stream); }
+  } deregister{this, &stream};
 
   const http::ReadLimits limits{options_.max_header_bytes, options_.max_body_bytes};
   bool first_request = true;
@@ -328,34 +397,16 @@ void RpcServer::serve_connection(net::TcpStream stream, std::int64_t accepted_at
     }
     http::Request req = std::move(reqr).value();
     const bool keep_alive = req.keep_alive();
+    const bool is_json = rpc_request_is_json(req);
 
-    const std::string content_type = req.header("content-type", "text/xml");
-    const bool is_json = content_type.find("json") != std::string::npos;
-
-    CallContext ctx;
-    ctx.session_token = req.header("x-clarens-session");
-    ctx.protocol = is_json ? "jsonrpc" : "xmlrpc";
-    // Trace context rides the x-gae-trace header; the body's reserved trace
-    // field is the fallback for paths that strip transport headers.
-    ctx.trace = std::move(req.trace);
-    ctx.tier = criticality_from_wire(req.tier);
-
-    // Deadline off the wire: remaining milliseconds at client send time. The
-    // first request on a connection additionally pays for the time its bytes
-    // sat in the acceptor queue — the budget kept draining while the
+    // The first request on a connection additionally pays for the time its
+    // bytes sat in the acceptor queue — the budget kept draining while the
     // connection waited for a worker, and the client-side clock that stamped
-    // the header cannot see that wait.
+    // the deadline header cannot see that wait.
     const std::int64_t picked_up_us = steady_now_us();
     const std::int64_t queue_delay_us =
         first_request && picked_up_us > accepted_at_us ? picked_up_us - accepted_at_us : 0;
-    if (req.deadline_ms >= 0) {
-      const std::int64_t budget_us =
-          static_cast<std::int64_t>(req.deadline_ms) * 1000 - queue_delay_us;
-      ctx.deadline_us = picked_up_us + (budget_us > 0 ? budget_us : 0);
-    }
-
-    http::Response resp;
-    resp.headers["content-type"] = is_json ? "application/json" : "text/xml";
+    CallContext ctx = rpc_context_from_request(req, picked_up_us, queue_delay_us);
 
     // Admission: a first request whose connection sat in the acceptor queue
     // past the CoDel bound is shed and its connection closed (closing is
@@ -379,21 +430,13 @@ void RpcServer::serve_connection(net::TcpStream stream, std::int64_t accepted_at
     first_request = false;
 
     if (shed) {
-      // A well-formed 503 fault in the request's own protocol: clients map
-      // it to RESOURCE_EXHAUSTED (retryable with backoff). Silently closing
-      // instead would read as a transport error and trigger immediate
-      // reconnect storms — the opposite of shedding.
       shed_.fetch_add(1, std::memory_order_relaxed);
       if (shed_counter_) shed_counter_->inc();
-      const int fault = status_to_fault_code(StatusCode::kResourceExhausted);
-      const std::string msg = "server overloaded: request shed";
-      resp.status_code = 503;
-      resp.reason = "Service Unavailable";
-      resp.body = is_json ? jsonrpc::encode_fault(fault, msg, 0)
-                          : xmlrpc::encode_fault(fault, msg);
       requests_.fetch_add(1, std::memory_order_relaxed);
       const bool shed_keep_alive = keep_alive && !close_after_shed;
-      if (!http::write_response(stream, resp, shed_keep_alive).is_ok()) return;
+      if (!http::write_response(stream, rpc_shed_response(is_json), shed_keep_alive).is_ok()) {
+        return;
+      }
       if (!shed_keep_alive) return;
       continue;
     }
@@ -409,48 +452,22 @@ void RpcServer::serve_connection(net::TcpStream stream, std::int64_t accepted_at
 
     // Dispatch timed at the admission layer: the sample feeds the AIMD
     // limit, and the gauges publish the limit it settled on.
-    auto timed_dispatch = [&](const std::string& method, const Array& params) {
-      const std::int64_t start_us = steady_now_us();
-      auto result = dispatcher_->dispatch(method, params, ctx);
-      if (options_.admission) {
-        options_.admission->on_sample(
-            static_cast<std::uint64_t>(steady_now_us() - start_us), !result.is_ok());
-        if (admission_limit_gauge_) {
-          admission_limit_gauge_->set(
-              static_cast<std::int64_t>(options_.admission->limit()));
-          brownout_gauge_->set(options_.admission->browned_out() ? 1 : 0);
-        }
-      }
-      return result;
-    };
-
-    if (is_json) {
-      auto call = jsonrpc::decode_call(req.body);
-      if (!call.is_ok()) {
-        resp.body = jsonrpc::encode_fault(status_to_fault_code(call.status().code()),
-                                          call.status().message(), 0);
-      } else {
-        if (ctx.trace.empty()) ctx.trace = call.value().trace;
-        auto result = timed_dispatch(call.value().method, call.value().params);
-        resp.body = result.is_ok()
-                        ? jsonrpc::encode_response(result.value(), call.value().id)
-                        : jsonrpc::encode_fault(status_to_fault_code(result.status().code()),
-                                                result.status().message(), call.value().id);
-      }
-    } else {
-      auto call = xmlrpc::decode_call(req.body);
-      if (!call.is_ok()) {
-        resp.body = xmlrpc::encode_fault(status_to_fault_code(call.status().code()),
-                                         call.status().message());
-      } else {
-        if (ctx.trace.empty()) ctx.trace = call.value().trace;
-        auto result = timed_dispatch(call.value().method, call.value().params);
-        resp.body = result.is_ok()
-                        ? xmlrpc::encode_response(result.value())
-                        : xmlrpc::encode_fault(status_to_fault_code(result.status().code()),
-                                               result.status().message());
-      }
-    }
+    const http::Response resp = rpc_dispatch_request(
+        req, ctx,
+        [&](const std::string& method, const Array& params, const CallContext& call_ctx) {
+          const std::int64_t start_us = steady_now_us();
+          auto result = dispatcher_->dispatch(method, params, call_ctx);
+          if (options_.admission) {
+            options_.admission->on_sample(
+                static_cast<std::uint64_t>(steady_now_us() - start_us), !result.is_ok());
+            if (admission_limit_gauge_) {
+              admission_limit_gauge_->set(
+                  static_cast<std::int64_t>(options_.admission->limit()));
+              brownout_gauge_->set(options_.admission->browned_out() ? 1 : 0);
+            }
+          }
+          return result;
+        });
 
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (!http::write_response(stream, resp, keep_alive).is_ok()) return;

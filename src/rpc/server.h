@@ -22,7 +22,8 @@
 #include "common/admission.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
-#include "net/socket.h"
+#include "rpc/http.h"
+#include "rpc/transport.h"
 #include "rpc/value.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -118,6 +119,38 @@ class Dispatcher {
 int status_to_fault_code(StatusCode code);
 StatusCode fault_code_to_status(int fault_code);
 
+// -- The shared per-request pipeline ----------------------------------------
+//
+// Everything between "one framed HTTP request" and "one framed HTTP
+// response" is transport-independent; the TCP worker loop below and the
+// deterministic-simulation host (dst::SimHost) both drive these.
+
+/// True when the request's content type selects the JSON-RPC codec.
+bool rpc_request_is_json(const http::Request& req);
+
+/// Builds the per-call context from the request's transport fields.
+/// `picked_up_us` is the steady instant the request started being served;
+/// `queue_delay_us` (acceptor-queue wait, first request only) is charged
+/// against the arriving deadline budget — the client's clock could not see
+/// that wait.
+CallContext rpc_context_from_request(const http::Request& req, std::int64_t picked_up_us,
+                                     std::int64_t queue_delay_us);
+
+/// Decodes the body (codec by content type), dispatches through `dispatch`
+/// (invoked at most once, for a well-formed call), and encodes the reply —
+/// faults included — into a complete Response. The body's reserved trace
+/// field is applied to `ctx` as a fallback when the header carried none.
+http::Response rpc_dispatch_request(
+    const http::Request& req, CallContext ctx,
+    const std::function<Result<Value>(const std::string& method, const Array& params,
+                                      const CallContext& ctx)>& dispatch);
+
+/// The well-formed 503 fault an admission shed answers with, in the
+/// request's own protocol (clients map it to RESOURCE_EXHAUSTED and retry
+/// with backoff; a silent close would read as an outage and trigger
+/// reconnect storms).
+http::Response rpc_shed_response(bool is_json);
+
 struct ServerOptions {
   std::uint16_t port = 0;  // 0 = ephemeral
   std::size_t num_workers = 8;
@@ -131,6 +164,9 @@ struct ServerOptions {
   /// Connections admitted concurrently (accepted but not yet finished);
   /// excess connections are closed at accept. 0 = 2 * num_workers.
   std::size_t max_in_flight = 0;
+  /// Byte transport to listen on; null = the process-wide TCP transport.
+  /// Must outlive the server.
+  Transport* transport = nullptr;
   /// When set, the server keeps rpc.server.queue_depth (worker-pool backlog)
   /// and rpc.server.connections gauges current, and counts
   /// rpc.server.connections_{rejected,timed_out}. Per-method metrics live on
@@ -178,16 +214,16 @@ class RpcServer {
 
  private:
   void accept_loop();
-  void serve_connection(net::TcpStream stream, std::int64_t accepted_at_us);
+  void serve_connection(Stream& stream, std::int64_t accepted_at_us);
 
   /// Live-connection registry so stop() can unblock workers parked in recv
   /// on kept-alive connections.
-  void register_connection(int fd);
-  void unregister_connection(int fd);
+  void register_connection(Stream* stream);
+  void unregister_connection(Stream* stream);
 
   std::shared_ptr<Dispatcher> dispatcher_;
   ServerOptions options_;
-  net::TcpListener listener_;
+  std::unique_ptr<Listener> listener_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread acceptor_;
   std::atomic<bool> running_{false};
@@ -204,7 +240,7 @@ class RpcServer {
   telemetry::Gauge* admission_limit_gauge_ = nullptr;
   telemetry::Gauge* brownout_gauge_ = nullptr;
   std::mutex conns_mutex_;
-  std::set<int> active_conns_;
+  std::set<Stream*> active_conns_;
 };
 
 }  // namespace gae::rpc

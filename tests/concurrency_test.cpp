@@ -133,8 +133,15 @@ TEST(Channel, CloseDrainsResidueThenNullopt) {
 
 TEST(Channel, CloseUnblocksReceiver) {
   Channel<int> ch;
-  std::thread receiver([&ch] { EXPECT_FALSE(ch.receive().has_value()); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::atomic<bool> entered{false};
+  std::thread receiver([&] {
+    entered.store(true);
+    EXPECT_FALSE(ch.receive().has_value());
+  });
+  // Close may land before or after receive() blocks; both orders must yield
+  // the nullopt wakeup. Waiting for the thread to reach receive() exercises
+  // the blocked path without betting on a timer.
+  while (!entered.load()) std::this_thread::yield();
   ch.close();
   receiver.join();
 }
@@ -176,8 +183,14 @@ TEST(ManualClock, AdvancesMonotonically) {
 TEST(WallClock, MovesForward) {
   WallClock clock;
   const SimTime a = clock.now();
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  EXPECT_GT(clock.now(), a);
+  // Spin until the clock ticks over instead of sleeping a guessed interval:
+  // microsecond resolution makes this a handful of iterations.
+  SimTime b = a;
+  while (b <= a) {
+    std::this_thread::yield();
+    b = clock.now();
+  }
+  EXPECT_GT(b, a);
 }
 
 TEST(Ids, UniqueAcrossThreads) {

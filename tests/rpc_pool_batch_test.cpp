@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -45,8 +47,11 @@ class ParkingPeer {
       for (;;) {
         auto s = listener_.accept();
         if (!s.is_ok()) return;
-        std::lock_guard<std::mutex> lock(mutex_);
-        accepted_.push_back(std::move(s).value());
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          accepted_.push_back(std::move(s).value());
+        }
+        cv_.notify_all();
       }
     });
   }
@@ -65,9 +70,8 @@ class ParkingPeer {
   /// Blocks until the accept thread has registered `n` connections (a dial
   /// returning does not mean the acceptor has run yet).
   void wait_for_accepts(std::size_t n) {
-    for (int i = 0; i < 200 && accepted_count() < n; ++i) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, std::chrono::seconds(30), [&] { return accepted_.size() >= n; });
   }
 
   /// Closes every accepted socket (the peer "dies" from the pool's view).
@@ -87,8 +91,24 @@ class ParkingPeer {
   std::uint16_t port_ = 0;
   std::thread accept_thread_;
   std::mutex mutex_;
+  std::condition_variable cv_;
   std::vector<net::TcpStream> accepted_;
 };
+
+/// Checks the parked connection out and back in until the pool's health
+/// probe notices the damage `mutate` inflicted (a FIN or stray bytes reach
+/// our side of a loopback socket asynchronously). Checkin parks without
+/// probing, so the round trip is lossless until the eviction fires.
+void probe_until_evicted(ConnectionPool& pool, std::uint16_t port) {
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (pool.stats().health_evictions == 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    auto probe = pool.checkout("127.0.0.1", port);
+    ASSERT_TRUE(probe.is_ok());
+    pool.checkin(std::move(probe).value());
+    std::this_thread::yield();
+  }
+}
 
 TEST(ConnectionPool, CheckinParksAndCheckoutReuses) {
   ParkingPeer peer;
@@ -118,15 +138,12 @@ TEST(ConnectionPool, EvictsPeerClosedConnectionAtCheckout) {
   ASSERT_TRUE(conn.is_ok());
   pool.checkin(std::move(conn).value());
 
-  // Peer dies while the connection is parked; give the FIN a moment.
+  // Peer dies while the connection is parked; probe until the FIN lands.
   peer.wait_for_accepts(1);
   peer.close_all();
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  probe_until_evicted(pool, peer.port());
 
-  auto again = pool.checkout("127.0.0.1", peer.port());
-  ASSERT_TRUE(again.is_ok());
-  EXPECT_FALSE(again.value().reused);  // fresh dial, not the dead socket
-  EXPECT_EQ(pool.stats().health_evictions, 1u);
+  EXPECT_EQ(pool.stats().health_evictions, 1u);  // dead socket never reused
   EXPECT_EQ(pool.stats().dials, 2u);
 }
 
@@ -142,11 +159,8 @@ TEST(ConnectionPool, EvictsDesyncedConnectionAtCheckout) {
   // must not be handed to the next caller, who would read a stale response.
   peer.wait_for_accepts(1);
   peer.spray_bytes();
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  probe_until_evicted(pool, peer.port());
 
-  auto again = pool.checkout("127.0.0.1", peer.port());
-  ASSERT_TRUE(again.is_ok());
-  EXPECT_FALSE(again.value().reused);
   EXPECT_EQ(pool.stats().health_evictions, 1u);
 }
 
@@ -215,12 +229,18 @@ TEST(ConnectionPool, ConcurrentCheckoutCheckinWithDyingPeer) {
       }
     });
   }
-  // The peer keeps killing parked connections under the callers' feet.
-  for (int burst = 0; burst < 10; ++burst) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    peer.close_all();
-  }
+  // The peer keeps killing parked connections under the callers' feet for
+  // the whole run — paced by the scheduler, not a fixed burst timetable.
+  std::atomic<bool> workers_done{false};
+  std::thread killer([&] {
+    while (!workers_done.load()) {
+      peer.close_all();
+      std::this_thread::yield();
+    }
+  });
   for (auto& t : threads) t.join();
+  workers_done.store(true);
+  killer.join();
 
   // Accounting stayed consistent: nothing is still marked checked out.
   EXPECT_EQ(pool.live_count("127.0.0.1", peer.port()),

@@ -174,6 +174,33 @@ TEST(Wal, CorruptLengthFieldDoesNotOverread) {
   EXPECT_TRUE(log.torn_tail);
 }
 
+TEST(Wal, CorruptLengthPrefixMidLogIsCorruptionNotTornTail) {
+  // Found by the DST seed sweep (dst_sweep --seed 546): bit rot in a
+  // frame's length prefix inflates the length past end-of-log, which used
+  // to read as a benign torn tail — recovery silently dropped every intact
+  // frame behind the damage and the store was never quarantined, so a
+  // promoted standby served a truncated view of acknowledged writes. Valid
+  // frames after the lying length prefix prove it is corruption: a genuine
+  // torn tail is the suffix of one partial append, with nothing decodable
+  // behind it.
+  MemoryWalStorage storage;
+  Wal wal(&storage);
+  ASSERT_TRUE(wal.append("first").is_ok());
+  const std::size_t first_end = storage.bytes().size();
+  ASSERT_TRUE(wal.append("second").is_ok());
+  ASSERT_TRUE(wal.append("third").is_ok());
+
+  // Flip a high bit in the second frame's length field.
+  storage.mutable_bytes()[first_end + 2] ^= 0x40;
+
+  WalReadResult log = Wal::decode(storage.bytes());
+  ASSERT_EQ(log.records.size(), 1u);
+  EXPECT_EQ(log.records[0].payload, "first");
+  EXPECT_TRUE(log.corrupt);
+  EXPECT_FALSE(log.torn_tail);
+  EXPECT_EQ(log.valid_bytes, first_end);
+}
+
 TEST(Wal, FileStorageRoundTripsRecordLargerThanReadBuffer) {
   const std::string path = ::testing::TempDir() + "gae_wal_large_record.wal";
   std::remove(path.c_str());
